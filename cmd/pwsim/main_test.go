@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIntroTableContents(t *testing.T) {
+	out := introTable().Render()
+	for _, want := range []string{"99.58%", "833", "6000", "20.0", "tree"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("intro table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMcastTableProperties(t *testing.T) {
+	out := mcastTable(24, 3).Render()
+	for _, want := range []string{"audience reached", "23/23", "root out-degree"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mcast table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	ints := parseInts("5000, 10000,20000")
+	if len(ints) != 3 || ints[0] != 5000 || ints[2] != 20000 {
+		t.Fatalf("parseInts = %v", ints)
+	}
+	floats := parseFloats("0.1, 1 ,10")
+	if len(floats) != 3 || floats[0] != 0.1 || floats[2] != 10 {
+		t.Fatalf("parseFloats = %v", floats)
+	}
+}

@@ -1,0 +1,88 @@
+// Backup-partner selection in the style of Pastiche and the cooperative
+// backup schemes the paper's introduction motivates: backup systems want
+// partners with a similar operating system (shared base data, cheap
+// deltas) and guard replicas on partners with a *different* OS (a virus
+// that wipes one platform cannot take both copies).
+//
+// Each peer attaches "os=<name>;rel=<version>" to its pointer; partner
+// search is then a purely local scan of the PeerWindow — no flooding, no
+// directory.
+//
+// Run with:
+//
+//	go run ./examples/backup
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"peerwindow"
+)
+
+// profile is the attached info of one participant.
+type profile struct {
+	name string
+	os   string
+	rel  string
+}
+
+func main() {
+	opts := peerwindow.Defaults()
+	opts.Dilation = 100
+	opts.Budget = 1e6
+	opts.Seed = 42
+	ov := peerwindow.New(opts)
+	defer ov.Close()
+
+	fleet := []profile{
+		{"atlas", "linux", "6.8"},
+		{"borei", "linux", "6.1"},
+		{"castor", "openbsd", "7.5"},
+		{"deimos", "windows", "11"},
+		{"electra", "linux", "6.8"},
+		{"fornax", "windows", "10"},
+		{"gaspra", "openbsd", "7.4"},
+		{"hydra", "linux", "5.15"},
+	}
+	for _, pr := range fleet {
+		p, err := ov.Spawn(pr.name)
+		if err != nil {
+			log.Fatalf("spawn %s: %v", pr.name, err)
+		}
+		p.SetInfo([]byte(fmt.Sprintf("os=%s;rel=%s", pr.os, pr.rel)))
+		ov.Settle(20 * time.Second)
+	}
+	// Let the info-change multicasts drain.
+	ov.Settle(2 * time.Minute)
+
+	atlas, _ := ov.Peer("atlas")
+	window := atlas.Window()
+	fmt.Printf("atlas collected %d pointers\n\n", len(window))
+
+	// Similar-OS partners (Pastiche: overlapping data, cheap backups).
+	same := window.InfoContains("os=linux")
+	fmt.Println("similar-OS candidates (cheap incremental backups):")
+	for _, p := range same {
+		fmt.Printf("  %s…  %s\n", p.ID[:8], p.Info)
+	}
+
+	// Different-OS partners (Lillibridge et al.: survive a monoculture
+	// attack).
+	diverse := window.ByInfo(func(b []byte) bool {
+		s := string(b)
+		return len(s) > 0 && !strings.Contains(s, "os=linux")
+	})
+	fmt.Println("\ndiverse-OS candidates (virus-independence replicas):")
+	for _, p := range diverse {
+		fmt.Printf("  %s…  %s\n", p.ID[:8], p.Info)
+	}
+
+	// A sensible placement: two similar + one diverse partner.
+	if len(same) >= 2 && len(diverse) >= 1 {
+		fmt.Printf("\nplacement for atlas: similar={%s…, %s…} diverse={%s…}\n",
+			same[0].ID[:8], same[1].ID[:8], diverse[0].ID[:8])
+	}
+}

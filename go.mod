@@ -1,0 +1,3 @@
+module peerwindow
+
+go 1.22

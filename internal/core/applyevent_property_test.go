@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"peerwindow/internal/des"
+	"peerwindow/internal/nodeid"
+	"peerwindow/internal/wire"
+	"peerwindow/internal/xrand"
+)
+
+// TestApplyEventAgainstModel replays random event sequences into a node
+// and into a simple reference model (a map with last-writer-wins
+// semantics keyed by the same dedup rules) and requires the peer list to
+// match the model after every step. This is the protocol's core
+// invariant: the peer list is a deterministic function of the accepted
+// event sequence.
+func TestApplyEventAgainstModel(t *testing.T) {
+	const (
+		subjects = 12
+		steps    = 4000
+	)
+	rng := xrand.New(123)
+	env := newFakeEnv(123)
+	n := NewNode(quietConfig(), env, Observer{}, ptrAt("0000", 0, 1))
+	n.Restore(0, nil, nil)
+	env.take()
+
+	// Reference model.
+	type modelEntry struct {
+		present bool
+		level   uint8
+		info    byte
+		seen    uint64
+	}
+	model := make(map[nodeid.ID]*modelEntry)
+
+	ids := make([]nodeid.ID, subjects)
+	for i := range ids {
+		ids[i] = nodeid.ID{Hi: rng.Uint64(), Lo: rng.Uint64()}
+		model[ids[i]] = &modelEntry{}
+	}
+
+	kinds := []wire.EventKind{
+		wire.EventJoin, wire.EventLeave, wire.EventLevelShift,
+		wire.EventInfoChange, wire.EventRefresh,
+	}
+	for step := 0; step < steps; step++ {
+		id := ids[rng.Intn(subjects)]
+		kind := kinds[rng.Intn(len(kinds))]
+		// Sequence numbers wander: mostly fresh, sometimes stale
+		// replays, occasionally far ahead.
+		m := model[id]
+		var seq uint64
+		switch rng.Intn(4) {
+		case 0:
+			seq = m.seen // duplicate
+		case 1:
+			if m.seen > 2 {
+				seq = m.seen - 1 - uint64(rng.Intn(2)) // stale
+			} else {
+				seq = m.seen + 1
+			}
+		default:
+			seq = m.seen + 1 + uint64(rng.Intn(3)) // fresh
+		}
+		level := uint8(rng.Intn(4))
+		info := byte(rng.Intn(200))
+		subj := wire.Pointer{Addr: wire.Addr(1000 + rng.Intn(64)), ID: id, Level: level, Info: []byte{info}}
+		ev := wire.Event{Kind: kind, Subject: subj, Seq: seq}
+
+		// Model transition mirroring applyEvent's documented rules.
+		switch kind {
+		case wire.EventLeave:
+			removed := m.present
+			m.present = false
+			if removed || seq > m.seen {
+				if seq > m.seen {
+					m.seen = seq
+				}
+			}
+		default:
+			if seq > m.seen {
+				m.seen = seq
+				m.present = true
+				m.level = level
+				m.info = info
+			}
+		}
+
+		n.applyEvent(ev)
+		env.take() // discard multicast traffic
+
+		// Compare.
+		got, ok := n.Peers().Lookup(id)
+		if ok != m.present {
+			t.Fatalf("step %d: presence mismatch for %v: node=%v model=%v (kind=%v seq=%d seen=%d)",
+				step, id, ok, m.present, kind, seq, m.seen)
+		}
+		if ok {
+			if got.Level != m.level || len(got.Info) != 1 || got.Info[0] != m.info {
+				t.Fatalf("step %d: content mismatch: node={lvl %d info %v} model={lvl %d info %d}",
+					step, got.Level, got.Info, m.level, m.info)
+			}
+		}
+	}
+
+	// Final sanity: list size equals the model's live population.
+	live := 0
+	for _, m := range model {
+		if m.present {
+			live++
+		}
+	}
+	if n.Peers().Len() != live {
+		t.Fatalf("final size %d vs model %d", n.Peers().Len(), live)
+	}
+}
+
+// TestApplyEventForwardDecision checks the dedup return value itself:
+// the forwarding decision must be true exactly once per fresh event.
+func TestApplyEventForwardDecision(t *testing.T) {
+	env := newFakeEnv(124)
+	n := NewNode(quietConfig(), env, Observer{}, ptrAt("0000", 0, 1))
+	n.Restore(0, nil, nil)
+	subj := wire.Pointer{Addr: 50, ID: nodeid.HashString("s"), Level: 0}
+	ev := wire.Event{Kind: wire.EventJoin, Subject: subj, Seq: 10}
+	if !n.applyEvent(ev) {
+		t.Fatal("first apply must be fresh")
+	}
+	if n.applyEvent(ev) {
+		t.Fatal("identical event applied twice")
+	}
+	ev.Seq = 9
+	if n.applyEvent(ev) {
+		t.Fatal("stale sequence accepted")
+	}
+	ev.Seq = 11
+	if !n.applyEvent(ev) {
+		t.Fatal("newer sequence rejected")
+	}
+}
+
+// TestSeenStateBounded double-checks that durable bookkeeping does not
+// lose track across long alternations of join/leave for one subject.
+func TestSeenStateLongAlternation(t *testing.T) {
+	env := newFakeEnv(125)
+	n := NewNode(quietConfig(), env, Observer{}, ptrAt("0000", 0, 1))
+	n.Restore(0, nil, nil)
+	subj := wire.Pointer{Addr: 60, ID: nodeid.HashString("alt"), Level: 0}
+	seq := uint64(des.Time(1000))
+	for i := 0; i < 500; i++ {
+		seq++
+		if !n.applyEvent(wire.Event{Kind: wire.EventJoin, Subject: subj, Seq: seq}) {
+			t.Fatalf("join %d rejected", i)
+		}
+		if _, ok := n.Peers().Lookup(subj.ID); !ok {
+			t.Fatalf("join %d not applied", i)
+		}
+		seq++
+		if !n.applyEvent(wire.Event{Kind: wire.EventLeave, Subject: subj, Seq: seq}) {
+			t.Fatalf("leave %d rejected", i)
+		}
+		if _, ok := n.Peers().Lookup(subj.ID); ok {
+			t.Fatalf("leave %d not applied", i)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"peerwindow/internal/des"
+	"peerwindow/internal/wire"
+	"peerwindow/internal/xrand"
+)
+
+// Timer is a cancellable pending callback, satisfied by des.Handle and by
+// the live transport's timers.
+type Timer interface {
+	// Cancel stops the timer; it reports whether the timer was still
+	// pending.
+	Cancel() bool
+}
+
+// Env is everything a Node needs from its runtime. The discrete-event
+// simulator and the live goroutine transport both implement it; the Node
+// itself contains no goroutines, no wall-clock time and no I/O.
+//
+// All Env methods are invoked from the Node's single logical thread of
+// control (the event that is currently executing); implementations must
+// deliver messages and fire timers back into that same serialized
+// context.
+type Env interface {
+	// Now returns the current virtual (or wall) time.
+	Now() des.Time
+	// Send transmits a message toward msg.To. Delivery is asynchronous
+	// and unreliable; there is no error return — loss is detected by the
+	// protocol's own acks and timeouts.
+	Send(msg wire.Message)
+	// SetTimer schedules fn after delay on the node's serialized
+	// executor.
+	SetTimer(delay des.Time, fn func()) Timer
+	// Rand returns the node's deterministic random stream.
+	Rand() *xrand.Source
+}
+
+// Observer receives protocol-level notifications. The experiment harness
+// uses it for ground-truth accounting; applications can use it to react
+// to peer-list changes. All methods are called synchronously from the
+// node's executor; implementations must not block. Any field may be nil.
+type Observer struct {
+	// PeerAdded fires when a pointer enters the peer list.
+	PeerAdded func(p wire.Pointer)
+	// PeerRemoved fires when a pointer leaves the peer list; reason
+	// distinguishes a clean leave event from a staleness drop.
+	PeerRemoved func(p wire.Pointer, reason RemoveReason)
+	// LevelChanged fires after the node shifts its own level.
+	LevelChanged func(oldLevel, newLevel int)
+	// EventOriginated fires on the top node that starts a multicast.
+	EventOriginated func(ev wire.Event)
+	// EventDelivered fires when a multicast event is first accepted
+	// (deduplicated) by this node.
+	EventDelivered func(ev wire.Event, step int)
+	// FailureReported fires when this node reports another node's death,
+	// tagged with the detection path ("probe" or "verify"). Used by the
+	// simulator's diagnostics.
+	FailureReported func(target wire.Pointer, path string)
+}
+
+// RemoveReason says why a pointer left the peer list.
+type RemoveReason uint8
+
+const (
+	// RemoveLeave: a leave event announced the departure.
+	RemoveLeave RemoveReason = iota + 1
+	// RemoveStale: the pointer failed RetryAttempts multicast attempts
+	// (§4.2) or a heartbeat timeout (§4.1).
+	RemoveStale
+	// RemoveExpired: the §4.6 refresh deadline 3·LT_m passed.
+	RemoveExpired
+	// RemoveShift: the node lowered its own level and shed the pointers
+	// outside its new eigenstring.
+	RemoveShift
+)
+
+// String implements fmt.Stringer.
+func (r RemoveReason) String() string {
+	switch r {
+	case RemoveLeave:
+		return "leave"
+	case RemoveStale:
+		return "stale"
+	case RemoveExpired:
+		return "expired"
+	case RemoveShift:
+		return "shift"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"peerwindow/internal/nodeid"
+	"peerwindow/internal/wire"
+)
+
+// This file implements the §4.2 tree-based multicast.
+//
+// The scheme (figure 4): when a node is informed of an event at step s,
+// it repeatedly — for s' = s, s+1, s+2, … — picks from its peer list a
+// member of the changing node's audience set whose nodeId shares the
+// first s' bits of the local nodeId and differs at bit s', always
+// preferring the highest-level (strongest) candidate, and forwards the
+// event tagged with step s'+1. The process continues until no candidate
+// exists at any remaining step. Because candidates at step s' share s'
+// bits with the local node, a node at level l can only forward at steps
+// s' >= l — which is exactly why messages flow from stronger to weaker
+// nodes and why the root (a top node) has ~log2 N out-degree while leaf
+// recipients have none.
+//
+// Every forward expects an ack; after RetryAttempts silent attempts the
+// target's pointer is dropped as stale and the message is redirected to a
+// fresh candidate for the same step (§4.2's "turn back to line (3)").
+
+// handleEvent processes an incoming multicast step: ack it, apply it,
+// and continue the tree.
+func (n *Node) handleEvent(m wire.Message) {
+	// Ack unconditionally — the sender only needs to know we are alive.
+	n.send(wire.Message{Type: wire.MsgAck, To: m.From, AckID: m.AckID})
+	if !n.applyEvent(m.Event) {
+		return // duplicate; the tree below us was already covered
+	}
+	if n.obs.EventDelivered != nil {
+		n.obs.EventDelivered(m.Event, int(m.Step))
+	}
+	// The paper charges each hop 1 s of processing before it re-sends
+	// (§5.1); model that as a single delay before all forwards.
+	ev, step := m.Event, int(m.Step)
+	if n.cfg.ForwardDelay > 0 {
+		n.env.SetTimer(n.cfg.ForwardDelay, func() {
+			n.forwardEvent(ev, step)
+		})
+	} else {
+		n.forwardEvent(ev, step)
+	}
+}
+
+// originateMulticast starts the tree at this node, which has just applied
+// the event (top-node path, §2). A top node of a split part at level L
+// starts at step L: no stronger nodes exist in its part.
+func (n *Node) originateMulticast(ev wire.Event) {
+	if n.obs.EventOriginated != nil {
+		n.obs.EventOriginated(ev)
+	}
+	n.forwardEvent(ev, int(n.self.Level))
+}
+
+// forwardEvent continues the dissemination: the §4.2 tree by default,
+// or the §2 level-gossip sketch when configured (the ablation variant).
+func (n *Node) forwardEvent(ev wire.Event, fromStep int) {
+	if n.stopped {
+		return
+	}
+	if n.cfg.GossipMulticast {
+		n.forwardEventGossip(ev)
+		return
+	}
+	for s := fromStep; s < nodeid.Bits; s++ {
+		// If no peer shares the first s bits with us, none can share
+		// more: the rest of the tree is empty.
+		if n.peers.CountInPrefix(nodeid.EigenstringOf(n.self.ID, s)) == 0 {
+			return
+		}
+		n.sendStep(ev, s, nil)
+	}
+}
+
+// forwardEventGossip implements the §2 alternative: on first receipt, a
+// node pushes the event to GossipFanout random audience members at its
+// own level (the intra-level gossip) and hands it to one audience member
+// at each deeper level that exists (the downward step). Duplicates die
+// at the receiver's dedup, which is what terminates the rumor. Expected
+// cost is a redundancy factor of roughly the fanout over the tree's
+// r = 1 — the trade the paper declines.
+func (n *Node) forwardEventGossip(ev wire.Event) {
+	subject := ev.Subject.ID
+	// Downward handoff happens once, on first receipt: one member per
+	// deeper level, if any.
+	rng := n.env.Rand()
+	for l := n.Level() + 1; l <= n.cfg.MaxLevel; l++ {
+		l := l
+		deeper := func(p wire.Pointer) bool {
+			return int(p.Level) == l &&
+				p.ID.Prefix(l) == subject.Prefix(l)
+		}
+		sub := nodeid.EigenstringOf(subject, minInt(l, nodeid.Bits))
+		picks := n.peers.RandomInPrefix(sub, 1, deeper, nil, rng)
+		if len(picks) == 1 {
+			n.sendGossipCopy(ev, picks[0])
+		}
+	}
+	// Intra-level rumor mongering: GossipRounds rounds of GossipFanout
+	// pushes, one ForwardDelay (or ack timeout) apart.
+	n.gossipRound(ev, n.cfg.GossipRounds)
+}
+
+// gossipRound pushes one round of intra-level copies and schedules the
+// next.
+func (n *Node) gossipRound(ev wire.Event, remaining int) {
+	if n.stopped || remaining <= 0 {
+		return
+	}
+	subject := ev.Subject.ID
+	rng := n.env.Rand()
+	sameLevel := func(p wire.Pointer) bool {
+		return int(p.Level) == n.Level() &&
+			p.ID.Prefix(int(p.Level)) == subject.Prefix(int(p.Level))
+	}
+	region := nodeid.EigenstringOf(subject, minInt(n.Level(), nodeid.Bits))
+	for _, target := range n.peers.RandomInPrefix(region, n.cfg.GossipFanout, sameLevel, nil, rng) {
+		n.sendGossipCopy(ev, target)
+	}
+	gap := n.cfg.ForwardDelay
+	if gap <= 0 {
+		gap = n.cfg.AckTimeout
+	}
+	n.env.SetTimer(gap, func() { n.gossipRound(ev, remaining-1) })
+}
+
+// sendGossipCopy transmits one gossip push; failures just drop the stale
+// pointer (other copies provide the redundancy a tree lacks).
+func (n *Node) sendGossipCopy(ev wire.Event, target wire.Pointer) {
+	if target.ID == n.self.ID {
+		return
+	}
+	msg := wire.Message{Type: wire.MsgEvent, To: target.Addr, Step: 0, Event: ev}
+	n.sendReliable(msg, n.cfg.RetryAttempts, nil, func() {
+		if e, had := n.peers.Remove(target.ID); had {
+			if n.obs.PeerRemoved != nil {
+				n.obs.PeerRemoved(e.ptr, RemoveStale)
+			}
+		}
+	})
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// sendStep picks the strongest candidate for step s (excluding already
+// failed targets) and forwards the event reliably; on failure it drops
+// the stale pointer and redirects.
+func (n *Node) sendStep(ev wire.Event, s int, failed map[nodeid.ID]bool) {
+	target, ok := n.peers.StrongestForStep(n.self.ID, s, ev.Subject.ID, failed, n.env.Rand())
+	if !ok {
+		return // no (remaining) candidate at this step
+	}
+	msg := wire.Message{
+		Type:  wire.MsgEvent,
+		To:    target.Addr,
+		Step:  uint8(s + 1),
+		Event: ev,
+	}
+	n.sendReliable(msg, n.cfg.RetryAttempts, nil, func() {
+		// §4.2: no response after the attempt budget — remove the stale
+		// pointer and redirect to a new target for the same step.
+		if e, had := n.peers.Remove(target.ID); had {
+			if n.obs.PeerRemoved != nil {
+				n.obs.PeerRemoved(e.ptr, RemoveStale)
+			}
+		}
+		// Before announcing the death system-wide, verify it with an
+		// independent probe round: under message loss, one failed send
+		// chain alone produces enough false positives to flood the
+		// overlay with bogus leave events (each one a full multicast,
+		// whose extra sends produce more false positives in turn).
+		if !(ev.Kind == wire.EventLeave && ev.Subject.ID == target.ID) {
+			n.verifyFailure(target)
+		}
+		if failed == nil {
+			failed = make(map[nodeid.ID]bool)
+		}
+		failed[target.ID] = true
+		n.sendStep(ev, s, failed)
+	})
+}
+
+// verifyFailure double-checks a suspected death with a reliable
+// heartbeat round and only then reports the leave (§4.1's detection with
+// §4.2's evidence combined — six consecutive losses are needed for a
+// false positive).
+func (n *Node) verifyFailure(target wire.Pointer) {
+	if n.dead[target.ID] {
+		return
+	}
+	hb := wire.Message{Type: wire.MsgHeartbeat, To: target.Addr}
+	n.sendReliable(hb, n.cfg.RetryAttempts,
+		func(wire.Message) {
+			// Alive after all — the earlier send chain lost to the
+			// network, not to a death. Restore the pointer we dropped.
+			if !n.stopped && !n.dead[target.ID] && n.eigen.Contains(target.ID) {
+				if n.peers.Upsert(target, n.env.Now()) && n.obs.PeerAdded != nil {
+					n.obs.PeerAdded(target)
+				}
+			}
+		},
+		func() {
+			if n.dead[target.ID] {
+				return
+			}
+			n.dead[target.ID] = true
+			if n.obs.FailureReported != nil {
+				n.obs.FailureReported(target, "verify")
+			}
+			leave := wire.Event{
+				Kind:    wire.EventLeave,
+				Subject: target,
+				Seq:     n.seen[target.ID] + 1,
+			}
+			n.report(leave)
+		},
+	)
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"sort"
+
+	"peerwindow/internal/des"
+	"peerwindow/internal/nodeid"
+	"peerwindow/internal/wire"
+	"peerwindow/internal/xrand"
+)
+
+// peerEntry is one peer-list slot: the pointer plus the timestamps the
+// refresh mechanism (§4.6) and lifetime measurement need.
+type peerEntry struct {
+	ptr       wire.Pointer
+	firstSeen des.Time // when we first learned of this node (lifetime measurement)
+	lastSeen  des.Time // last event/refresh mentioning it (expiry)
+}
+
+// PeerList is the node's collection of pointers, kept sorted by nodeId so
+// that ring successors and prefix ranges — the two access patterns the
+// protocol needs — are binary searches. It is not safe for concurrent
+// use; the owning Node serializes access.
+type PeerList struct {
+	entries []peerEntry
+	// levels counts entries per level so MinLevel — the "is there anyone
+	// stronger than me" question behind top-node checks — is O(1).
+	levels [nodeid.Bits + 1]int32
+}
+
+// Len returns the number of pointers held.
+func (pl *PeerList) Len() int { return len(pl.entries) }
+
+// search returns the index of the first entry with ID >= id.
+func (pl *PeerList) search(id nodeid.ID) int {
+	return sort.Search(len(pl.entries), func(i int) bool {
+		return !pl.entries[i].ptr.ID.Less(id)
+	})
+}
+
+// Lookup returns the pointer for id, if present.
+func (pl *PeerList) Lookup(id nodeid.ID) (wire.Pointer, bool) {
+	i := pl.search(id)
+	if i < len(pl.entries) && pl.entries[i].ptr.ID == id {
+		return pl.entries[i].ptr, true
+	}
+	return wire.Pointer{}, false
+}
+
+// Upsert inserts the pointer or updates it in place, returning true when
+// the pointer was new. Updates refresh lastSeen but preserve firstSeen,
+// so lifetime measurement spans the node's whole observed life.
+func (pl *PeerList) Upsert(p wire.Pointer, now des.Time) bool {
+	i := pl.search(p.ID)
+	if i < len(pl.entries) && pl.entries[i].ptr.ID == p.ID {
+		pl.levels[pl.entries[i].ptr.Level]--
+		pl.levels[p.Level]++
+		pl.entries[i].ptr = p
+		pl.entries[i].lastSeen = now
+		return false
+	}
+	pl.entries = append(pl.entries, peerEntry{})
+	copy(pl.entries[i+1:], pl.entries[i:])
+	pl.entries[i] = peerEntry{ptr: p, firstSeen: now, lastSeen: now}
+	pl.levels[p.Level]++
+	return true
+}
+
+// MinLevel returns the smallest level among held pointers, or -1 when the
+// list is empty. A node is a top node of its part exactly when MinLevel
+// is -1 or not smaller than its own level (§4.4).
+func (pl *PeerList) MinLevel() int {
+	for l := range pl.levels {
+		if pl.levels[l] > 0 {
+			return l
+		}
+	}
+	return -1
+}
+
+// Strongest returns the first pointer (in ID order) at the minimum level,
+// if any.
+func (pl *PeerList) Strongest() (wire.Pointer, bool) {
+	min := pl.MinLevel()
+	if min < 0 {
+		return wire.Pointer{}, false
+	}
+	for i := range pl.entries {
+		if int(pl.entries[i].ptr.Level) == min {
+			return pl.entries[i].ptr, true
+		}
+	}
+	return wire.Pointer{}, false
+}
+
+// Touch updates lastSeen for id, reporting whether it was present.
+func (pl *PeerList) Touch(id nodeid.ID, now des.Time) bool {
+	i := pl.search(id)
+	if i < len(pl.entries) && pl.entries[i].ptr.ID == id {
+		pl.entries[i].lastSeen = now
+		return true
+	}
+	return false
+}
+
+// Remove deletes id, returning the removed entry and whether it existed.
+func (pl *PeerList) Remove(id nodeid.ID) (peerEntry, bool) {
+	i := pl.search(id)
+	if i >= len(pl.entries) || pl.entries[i].ptr.ID != id {
+		return peerEntry{}, false
+	}
+	e := pl.entries[i]
+	copy(pl.entries[i:], pl.entries[i+1:])
+	pl.entries = pl.entries[:len(pl.entries)-1]
+	pl.levels[e.ptr.Level]--
+	return e, true
+}
+
+// Successor returns the first pointer clockwise of id (strictly greater,
+// wrapping at the top of the ring) that satisfies keep. It returns false
+// when no entry satisfies keep. This is the §4.1 "right neighbour in the
+// circle" query, with keep selecting the caller's eigenstring group.
+func (pl *PeerList) Successor(id nodeid.ID, keep func(wire.Pointer) bool) (wire.Pointer, bool) {
+	n := len(pl.entries)
+	if n == 0 {
+		return wire.Pointer{}, false
+	}
+	start := pl.search(id)
+	// Skip id itself if present.
+	if start < n && pl.entries[start].ptr.ID == id {
+		start++
+	}
+	for k := 0; k < n; k++ {
+		e := &pl.entries[(start+k)%n]
+		if e.ptr.ID == id {
+			continue
+		}
+		if keep == nil || keep(e.ptr) {
+			return e.ptr, true
+		}
+	}
+	return wire.Pointer{}, false
+}
+
+// prefixRange returns the half-open index range [lo, hi) of entries whose
+// IDs start with the given eigenstring.
+func (pl *PeerList) prefixRange(e nodeid.Eigenstring) (lo, hi int) {
+	lo = pl.search(e.Prefix)
+	if e.Len == 0 {
+		return 0, len(pl.entries)
+	}
+	// Upper bound: first ID beyond the prefix subtree. The subtree spans
+	// 2^(128-Len) IDs starting at the (zero-padded) prefix.
+	delta := nodeid.ID{}
+	bit := e.Len - 1
+	delta = delta.WithBit(bit, 1) // 2^(128-Len)
+	upper := e.Prefix.Add(delta)
+	if upper.IsZero() {
+		// Wrapped past the top of the space: range extends to the end.
+		return lo, len(pl.entries)
+	}
+	hi = sort.Search(len(pl.entries), func(i int) bool {
+		return !pl.entries[i].ptr.ID.Less(upper)
+	})
+	return lo, hi
+}
+
+// InPrefix returns copies of all pointers whose IDs match the
+// eigenstring, in ID order. It serves MsgPeerListReq (join step 3 and
+// level raising).
+func (pl *PeerList) InPrefix(e nodeid.Eigenstring) []wire.Pointer {
+	lo, hi := pl.prefixRange(e)
+	if lo >= hi {
+		return nil
+	}
+	out := make([]wire.Pointer, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, pl.entries[i].ptr)
+	}
+	return out
+}
+
+// CountInPrefix returns how many held pointers match the eigenstring.
+func (pl *PeerList) CountInPrefix(e nodeid.Eigenstring) int {
+	lo, hi := pl.prefixRange(e)
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// DropOutsidePrefix removes every pointer whose ID does not match the
+// eigenstring, returning the removed entries. A node lowering its level
+// uses it to shed the now-out-of-scope half of its list (§4.3).
+func (pl *PeerList) DropOutsidePrefix(e nodeid.Eigenstring) []peerEntry {
+	lo, hi := pl.prefixRange(e)
+	if lo == 0 && hi == len(pl.entries) {
+		return nil
+	}
+	dropped := make([]peerEntry, 0, len(pl.entries)-(hi-lo))
+	dropped = append(dropped, pl.entries[:lo]...)
+	dropped = append(dropped, pl.entries[hi:]...)
+	kept := pl.entries[:0]
+	kept = append(kept, pl.entries[lo:hi]...)
+	pl.entries = kept
+	for i := range dropped {
+		pl.levels[dropped[i].ptr.Level]--
+	}
+	return dropped
+}
+
+// ForEach visits every entry in ID order; the visitor must not mutate the
+// list.
+func (pl *PeerList) ForEach(fn func(p wire.Pointer, firstSeen, lastSeen des.Time)) {
+	for i := range pl.entries {
+		e := &pl.entries[i]
+		fn(e.ptr, e.firstSeen, e.lastSeen)
+	}
+}
+
+// At returns the i-th pointer in ID order; it panics when out of range.
+func (pl *PeerList) At(i int) wire.Pointer { return pl.entries[i].ptr }
+
+// Pointers returns a copy of all pointers in ID order.
+func (pl *PeerList) Pointers() []wire.Pointer {
+	out := make([]wire.Pointer, len(pl.entries))
+	for i := range pl.entries {
+		out[i] = pl.entries[i].ptr
+	}
+	return out
+}
+
+// RandomInPrefix returns up to want distinct random pointers matching
+// the eigenstring and satisfying pred, excluding the skip set. It
+// samples without replacement from the prefix range.
+func (pl *PeerList) RandomInPrefix(e nodeid.Eigenstring, want int, pred func(wire.Pointer) bool, skip map[nodeid.ID]bool, rng *xrand.Source) []wire.Pointer {
+	lo, hi := pl.prefixRange(e)
+	span := hi - lo
+	if span <= 0 || want <= 0 {
+		return nil
+	}
+	out := make([]wire.Pointer, 0, want)
+	if span <= 4*want {
+		// Small range: filter then shuffle.
+		cands := make([]wire.Pointer, 0, span)
+		for i := lo; i < hi; i++ {
+			p := pl.entries[i].ptr
+			if (pred == nil || pred(p)) && (skip == nil || !skip[p.ID]) {
+				cands = append(cands, p)
+			}
+		}
+		rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		if len(cands) > want {
+			cands = cands[:want]
+		}
+		return cands
+	}
+	// Large range: bounded rejection sampling.
+	seen := make(map[nodeid.ID]bool, want)
+	for tries := 0; tries < 16*want && len(out) < want; tries++ {
+		p := pl.entries[lo+rng.Intn(span)].ptr
+		if seen[p.ID] || (skip != nil && skip[p.ID]) {
+			continue
+		}
+		if pred != nil && !pred(p) {
+			continue
+		}
+		seen[p.ID] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// StrongestForStep finds the multicast target for step s of figure 4: an
+// audience member of subject whose ID shares the first s bits of selfID
+// and differs at bit s, preferring the highest level (smallest level
+// value). The scan starts at a random rotation of the candidate range so
+// equal-level ties resolve to a random member — this spreads forwarding
+// load across equally strong nodes and, crucially, means every stale
+// pointer is eventually chosen as a target and cleaned up by the §4.2
+// no-response rule; a deterministic tie-break would let unluckily placed
+// stale entries survive forever. A level-0 candidate is globally
+// strongest, so the scan stops at the first one it meets — with
+// level-0-dominated ranges (the common case) the expected scan is short.
+// IDs in the skip set (targets that already failed this step) are
+// excluded.
+func (pl *PeerList) StrongestForStep(selfID nodeid.ID, s int, subject nodeid.ID, skip map[nodeid.ID]bool, rng *xrand.Source) (wire.Pointer, bool) {
+	if s >= nodeid.Bits {
+		return wire.Pointer{}, false
+	}
+	// Candidates occupy the contiguous ID range with prefix
+	// selfID[:s] + flipped bit s.
+	want := nodeid.EigenstringOf(selfID.FlipBit(s), s+1)
+	lo, hi := pl.prefixRange(want)
+	span := hi - lo
+	if span <= 0 {
+		return wire.Pointer{}, false
+	}
+	offset := 0
+	if rng != nil && span > 1 {
+		offset = rng.Intn(span)
+	}
+	best := -1
+	bestLevel := 256
+	for k := 0; k < span; k++ {
+		i := lo + offset + k
+		if i >= hi {
+			i -= span
+		}
+		p := &pl.entries[i].ptr
+		if int(p.Level) >= bestLevel {
+			continue
+		}
+		if skip != nil && skip[p.ID] {
+			continue
+		}
+		// Audience check: the candidate's eigenstring must be a prefix
+		// of the subject's ID.
+		if p.ID.Prefix(int(p.Level)) != subject.Prefix(int(p.Level)) {
+			continue
+		}
+		best = i
+		bestLevel = int(p.Level)
+		if bestLevel == 0 {
+			break
+		}
+	}
+	if best < 0 {
+		return wire.Pointer{}, false
+	}
+	return pl.entries[best].ptr, true
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"peerwindow/internal/wire"
+)
+
+// This file implements the §4.1 failure detector. Nodes sharing an
+// eigenstring are fully connected through their peer lists (§2 property
+// 5) and are viewed as a circle ordered by nodeId; every node heartbeats
+// only its right neighbour (the next larger nodeId, wrapping). On a
+// missed heartbeat the prober reports a leave event to a top node and
+// immediately redirects its probing to the next neighbour — which is what
+// makes the detector resilient to concurrent failures (the figure 3
+// example: A detects B, then redirects to C and detects C too).
+
+// scheduleProbe arms the next periodic heartbeat.
+func (n *Node) scheduleProbe() {
+	if n.stopped || !n.joined {
+		return
+	}
+	n.probeTimer = n.env.SetTimer(n.cfg.ProbeInterval, func() {
+		n.probeOnce()
+		n.scheduleProbe()
+	})
+}
+
+// probeAttempts counts heartbeat tries against the current target; a
+// neighbour is only declared failed after RetryAttempts silent probes,
+// so a single lost heartbeat or ack cannot evict a live node.
+
+// probeOnce heartbeats the current right neighbour: the next-larger
+// nodeId in the whole peer list. The paper draws the circle within one
+// eigenstring group (its figure 3), which is equivalent at its 100,000-
+// node scale where every group is large; taking the successor over the
+// whole list keeps the same one-heartbeat-per-node cost while also
+// covering nodes whose group happens to be a singleton (weak nodes that
+// shifted to a sparse level would otherwise die unnoticed). See
+// DESIGN.md.
+func (n *Node) probeOnce() {
+	if n.stopped {
+		return
+	}
+	target, ok := n.peers.Successor(n.self.ID, nil)
+	if !ok {
+		return // alone in the group; nothing to probe
+	}
+	n.probeTarget = target
+	n.probeAttempts = 0
+	n.probeSend(target)
+}
+
+// probeSend transmits one heartbeat attempt and arms its timeout.
+func (n *Node) probeSend(target wire.Pointer) {
+	n.probeAttempts++
+	msg := wire.Message{Type: wire.MsgHeartbeat, To: target.Addr}
+	n.nextAckID++
+	n.probeAckID = n.nextAckID
+	msg.AckID = n.probeAckID
+	n.send(msg)
+	n.probeWait = n.env.SetTimer(n.cfg.ProbeTimeout, func() {
+		n.onProbeTimeout(target)
+	})
+}
+
+// handleProbeAck clears the outstanding probe if the ack matches.
+func (n *Node) handleProbeAck(ackID uint64) {
+	if ackID != n.probeAckID {
+		return // stale ack from an earlier round
+	}
+	n.probeAckID = 0
+	if n.probeWait != nil {
+		n.probeWait.Cancel()
+		n.probeWait = nil
+	}
+}
+
+// onProbeTimeout declares the neighbour failed, reports the leave, and
+// redirects probing to the next neighbour immediately.
+func (n *Node) onProbeTimeout(target wire.Pointer) {
+	if n.stopped || n.probeAckID == 0 {
+		return
+	}
+	n.probeAckID = 0
+	if n.probeAttempts < n.cfg.RetryAttempts {
+		// Retry before declaring death: a lost heartbeat must not evict
+		// a live neighbour.
+		n.probeSend(target)
+		return
+	}
+	if e, ok := n.peers.Remove(target.ID); ok {
+		n.lifetimes.Add(int(e.ptr.Level), float64(n.env.Now()-e.firstSeen))
+		if n.obs.PeerRemoved != nil {
+			n.obs.PeerRemoved(e.ptr, RemoveStale)
+		}
+	}
+	// Report the failure with the next sequence number we know for the
+	// subject, so every concurrent detector produces the same event and
+	// dedup collapses them. Skip it when this subject's leave was
+	// already applied or announced.
+	if !n.dead[target.ID] {
+		n.dead[target.ID] = true
+		if n.obs.FailureReported != nil {
+			n.obs.FailureReported(target, "probe")
+		}
+		seq := n.seen[target.ID] + 1
+		ev := wire.Event{Kind: wire.EventLeave, Subject: target, Seq: seq}
+		n.report(ev)
+	}
+	// Redirect probing to the next neighbour right away; if it is dead
+	// too, the chain of timeouts will walk the ring (figure 3).
+	n.probeOnce()
+}

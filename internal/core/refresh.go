@@ -1,0 +1,75 @@
+package core
+
+import (
+	"peerwindow/internal/des"
+	"peerwindow/internal/nodeid"
+	"peerwindow/internal/wire"
+)
+
+// This file implements the §4.6 accuracy-improvement mechanism. Multicast
+// over an asynchronous network is never perfectly reliable, so peer lists
+// accumulate two error kinds: absent pointers and stale pointers. Every
+// node measures the lifetimes of departed peers per level (LT_i); an
+// l-level node re-multicasts its own state every RefreshMultiple·LT_l,
+// and an m-level pointer unrefreshed for ExpireMultiple·LT_m is dropped
+// without probing. In practice most nodes die before their refresh comes
+// due — exactly as the paper observes.
+
+// lifetimeEstimate returns the measured mean lifetime for a level,
+// falling back to the all-levels mean, or 0 when there is not enough
+// data to act on.
+func (n *Node) lifetimeEstimate(level int) des.Time {
+	const minSamples = 3
+	if agg := n.lifetimes.Level(level); agg.N() >= minSamples {
+		return des.Time(agg.Mean())
+	}
+	if agg := n.lifetimes.Overall(); agg.N() >= minSamples {
+		return des.Time(agg.Mean())
+	}
+	return 0
+}
+
+// onRefreshTick runs the periodic §4.6 sweep: expire unrefreshed
+// pointers, and re-announce ourselves when our refresh period has come
+// due.
+func (n *Node) onRefreshTick() {
+	if n.stopped || !n.joined {
+		return
+	}
+	n.refreshTimer = n.env.SetTimer(n.cfg.RefreshFloor, n.onRefreshTick)
+	now := n.env.Now()
+
+	// Expiry: collect first (ForEach forbids mutation), then remove.
+	var expired []nodeid.ID
+	n.peers.ForEach(func(p wire.Pointer, _, lastSeen des.Time) {
+		lt := n.lifetimeEstimate(int(p.Level))
+		if lt <= 0 {
+			return
+		}
+		deadline := des.Time(n.cfg.ExpireMultiple * float64(lt))
+		if now-lastSeen > deadline {
+			expired = append(expired, p.ID)
+		}
+	})
+	for _, id := range expired {
+		if e, ok := n.peers.Remove(id); ok {
+			if n.obs.PeerRemoved != nil {
+				n.obs.PeerRemoved(e.ptr, RemoveExpired)
+			}
+		}
+	}
+
+	// Self refresh: every RefreshMultiple·LT_l for our own level l.
+	lt := n.lifetimeEstimate(n.Level())
+	if lt <= 0 {
+		return
+	}
+	period := des.Time(n.cfg.RefreshMultiple * float64(lt))
+	if period < n.cfg.RefreshFloor {
+		period = n.cfg.RefreshFloor
+	}
+	if now-n.lastRefresh >= period {
+		n.lastRefresh = now
+		n.announce(wire.EventRefresh)
+	}
+}

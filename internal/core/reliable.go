@@ -1,0 +1,75 @@
+package core
+
+import (
+	"peerwindow/internal/wire"
+)
+
+// pendingSend tracks one reliable request awaiting its ack/response.
+type pendingSend struct {
+	msg      wire.Message
+	attempts int
+	timer    Timer
+	// onResponse fires with the ack/response message; onFail fires after
+	// the attempt budget is exhausted.
+	onResponse func(resp wire.Message)
+	onFail     func()
+}
+
+// sendReliable transmits msg to a single target, retrying up to attempts
+// times with AckTimeout between tries, then calling onFail. The returned
+// ackID is stamped into msg. Responses (any message echoing the ackID)
+// route to onResponse.
+func (n *Node) sendReliable(msg wire.Message, attempts int, onResponse func(wire.Message), onFail func()) uint64 {
+	n.nextAckID++
+	id := n.nextAckID
+	msg.AckID = id
+	p := &pendingSend{
+		msg:        msg,
+		attempts:   attempts,
+		onResponse: onResponse,
+		onFail:     onFail,
+	}
+	n.pending[id] = p
+	n.transmit(id, p)
+	return id
+}
+
+// transmit performs one attempt and arms the retry timer.
+func (n *Node) transmit(id uint64, p *pendingSend) {
+	p.attempts--
+	n.send(p.msg)
+	p.timer = n.env.SetTimer(n.cfg.AckTimeout, func() {
+		n.onAckTimeout(id)
+	})
+}
+
+// onAckTimeout retries or gives up on a pending send.
+func (n *Node) onAckTimeout(id uint64) {
+	p, ok := n.pending[id]
+	if !ok || n.stopped {
+		return
+	}
+	if p.attempts > 0 {
+		n.transmit(id, p)
+		return
+	}
+	delete(n.pending, id)
+	if p.onFail != nil {
+		p.onFail()
+	}
+}
+
+// resolveAck completes a pending send with its response.
+func (n *Node) resolveAck(id uint64, resp wire.Message) {
+	p, ok := n.pending[id]
+	if !ok {
+		return // duplicate or late ack
+	}
+	delete(n.pending, id)
+	if p.timer != nil {
+		p.timer.Cancel()
+	}
+	if p.onResponse != nil {
+		p.onResponse(resp)
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"peerwindow/internal/nodeid"
+	"peerwindow/internal/wire"
+)
+
+// This file implements the report path: a state-changing event must first
+// reach a top node of the changing node's part, which then originates the
+// tree multicast (§2, §4.4, §4.5).
+
+// announce reports a state change about this node itself.
+func (n *Node) announce(kind wire.EventKind) {
+	n.seq++
+	n.report(wire.Event{Kind: kind, Subject: n.self, Seq: n.seq})
+}
+
+// report delivers an event to a top node. A top node handles it locally;
+// everyone else sends a MsgReport to a member of its top-node list,
+// walking the list on failures, lazily refreshing it from a peer when it
+// is exhausted (§4.5), and as a last resort escalating through the
+// strongest known peer or originating locally (degraded but still covers
+// the weaker part of the audience).
+func (n *Node) report(ev wire.Event) {
+	if n.isTopNode() {
+		if n.applyEvent(ev) {
+			n.originateMulticast(ev)
+		}
+		return
+	}
+	n.reportVia(ev, n.shuffledTops(), false)
+}
+
+// shuffledTops returns a randomized copy of the top-node list so report
+// load spreads across top nodes ("randomly chosen from its top-node
+// list", §4.1).
+func (n *Node) shuffledTops() []wire.Pointer {
+	tops := append([]wire.Pointer(nil), n.topList...)
+	n.env.Rand().Shuffle(len(tops), func(i, j int) {
+		tops[i], tops[j] = tops[j], tops[i]
+	})
+	return tops
+}
+
+// reportVia tries each candidate top node in turn. refreshed guards the
+// one-shot "ask another node in the peer list for his top-node list as a
+// substitution" fallback of §4.5.
+func (n *Node) reportVia(ev wire.Event, tops []wire.Pointer, refreshed bool) {
+	if n.stopped {
+		return
+	}
+	if len(tops) == 0 {
+		if !refreshed {
+			if p, ok := n.randomPeer(); ok {
+				msg := wire.Message{Type: wire.MsgTopListReq, To: p.Addr}
+				n.sendReliable(msg, n.cfg.RetryAttempts,
+					func(resp wire.Message) {
+						n.mergeTopPointers(resp.Pointers)
+						n.reportVia(ev, n.shuffledTops(), true)
+					},
+					func() { n.reportVia(ev, nil, true) },
+				)
+				return
+			}
+		}
+		n.reportEscalate(ev)
+		return
+	}
+	t := tops[0]
+	msg := wire.Message{Type: wire.MsgReport, To: t.Addr, Event: ev}
+	n.sendReliable(msg, n.cfg.RetryAttempts, nil, func() {
+		// The top node is unreachable: drop it from the list and try the
+		// next one.
+		n.dropTop(t.ID)
+		n.reportVia(ev, tops[1:], refreshed)
+	})
+}
+
+// reportEscalate is the degraded path when no top node can be reached:
+// hand the event to the strongest known peer, or originate the multicast
+// ourselves (covering at least our own subtree of the audience).
+func (n *Node) reportEscalate(ev wire.Event) {
+	if p, ok := n.peers.Strongest(); ok && int(p.Level) < int(n.self.Level) {
+		msg := wire.Message{Type: wire.MsgReport, To: p.Addr, Event: ev}
+		n.sendReliable(msg, n.cfg.RetryAttempts, nil, func() {
+			if n.applyEvent(ev) {
+				n.originateMulticast(ev)
+			}
+		})
+		return
+	}
+	if n.applyEvent(ev) {
+		n.originateMulticast(ev)
+	}
+}
+
+// dropTop removes a dead pointer from the top-node list.
+func (n *Node) dropTop(id nodeid.ID) {
+	out := n.topList[:0]
+	for _, p := range n.topList {
+		if p.ID != id {
+			out = append(out, p)
+		}
+	}
+	n.topList = out
+}
+
+// handleReport processes an incoming MsgReport: ack it with piggybacked
+// top pointers (§4.5), then either originate the multicast (top node) or
+// pass the report toward a stronger node WITHOUT applying the event — the
+// tree will deliver it back to us, and applying early would make the
+// delivery look like a duplicate and cut off our subtree.
+func (n *Node) handleReport(m wire.Message) {
+	tops := n.ackPointers()
+	n.send(wire.Message{Type: wire.MsgReportAck, To: m.From, AckID: m.AckID, Pointers: tops})
+	ev := m.Event
+	if n.isTopNode() {
+		if n.applyEvent(ev) {
+			n.originateMulticast(ev)
+		}
+		return
+	}
+	if p, ok := n.peers.Strongest(); ok && int(p.Level) < int(n.self.Level) {
+		msg := wire.Message{Type: wire.MsgReport, To: p.Addr, Event: ev}
+		n.sendReliable(msg, n.cfg.RetryAttempts, nil, func() {
+			if n.applyEvent(ev) {
+				n.originateMulticast(ev)
+			}
+		})
+		return
+	}
+	if n.applyEvent(ev) {
+		n.originateMulticast(ev)
+	}
+}
+
+// ackPointers builds the t−1 top-node pointers piggybacked on report
+// acks.
+func (n *Node) ackPointers() []wire.Pointer {
+	var tops []wire.Pointer
+	if n.isTopNode() {
+		tops = n.partTopNodes()
+	} else {
+		tops = append(tops, n.topList...)
+	}
+	if max := n.cfg.TopListSize - 1; len(tops) > max {
+		tops = tops[:max]
+	}
+	return tops
+}
+
+// randomPeer picks a uniformly random pointer from the peer list.
+func (n *Node) randomPeer() (wire.Pointer, bool) {
+	ln := n.peers.Len()
+	if ln == 0 {
+		return wire.Pointer{}, false
+	}
+	return n.peers.At(n.env.Rand().Intn(ln)), true
+}

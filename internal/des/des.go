@@ -1,0 +1,246 @@
+// Package des is the discrete-event simulation engine underneath every
+// experiment — our stand-in for ONSP, the MPI/C++ overlay-simulation
+// platform the paper ran on (§5, ref [17]).
+//
+// One simulation run is a single deterministic event loop: events execute
+// in (time, sequence-number) order, so two runs with the same seed replay
+// identically, which is what makes the figure benchmarks reproducible.
+// Parallelism is applied where it is free of ordering hazards — across
+// independent runs (parameter points, seeds, replicas) via RunParallel —
+// mirroring how ONSP distributed independent work across its 16-server
+// cluster without changing any single run's semantics.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Time is a virtual-clock instant in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Common virtual-time units, mirroring package time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+)
+
+// MaxTime is the largest representable instant; it is used as "never".
+const MaxTime = Time(math.MaxInt64)
+
+// Seconds returns the instant expressed in floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts the virtual instant to a time.Duration for printing.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String renders the instant using time.Duration formatting.
+func (t Time) String() string { return t.Duration().String() }
+
+// FromSeconds builds a virtual instant from floating-point seconds.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// event is a scheduled callback. Cancellation is a flag rather than heap
+// removal: cancelled events stay in the heap and are skipped on pop,
+// which keeps Cancel O(1).
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+}
+
+// eventHeap orders events by (time, seq); seq breaks ties in scheduling
+// order, which makes the loop deterministic.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Handle refers to a scheduled event and allows cancelling it.
+type Handle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. It reports whether the event was
+// still pending.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.cancelled || h.ev.fn == nil {
+		return false
+	}
+	h.ev.cancelled = true
+	h.ev.fn = nil // release the closure promptly
+	return true
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (h Handle) Pending() bool {
+	return h.ev != nil && !h.ev.cancelled && h.ev.fn != nil
+}
+
+// Engine is a sequential deterministic event loop. It is not safe for
+// concurrent use; run one Engine per goroutine (see RunParallel).
+type Engine struct {
+	now       Time
+	seq       uint64
+	heap      eventHeap
+	executed  uint64
+	cancelled uint64
+	running   bool
+}
+
+// New returns an Engine with the clock at zero and no pending events.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of live (non-cancelled) scheduled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.heap {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Executed returns how many events have fired so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past (t < Now) panics: in a discrete-event simulation that is always a
+// logic bug, and silently clamping would mask it.
+func (e *Engine) At(t Time, fn func()) Handle {
+	if fn == nil {
+		panic("des: At with nil callback")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("des: scheduling into the past (%v < %v)", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run delay after the current virtual time.
+func (e *Engine) After(delay Time, fn func()) Handle {
+	if delay < 0 {
+		panic("des: negative delay")
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Step executes the single earliest pending event. It reports false when
+// no live events remain.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		ev := heap.Pop(&e.heap).(*event)
+		if ev.cancelled {
+			e.cancelled++
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.executed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events in order until the queue drains or the next event
+// would fire after deadline. The clock is left at the later of its
+// current value and deadline, so a subsequent Run picks up seamlessly.
+func (e *Engine) Run(deadline Time) {
+	if e.running {
+		panic("des: Run re-entered from inside an event")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.heap) > 0 {
+		// Skim cancelled events off the top without advancing time.
+		top := e.heap[0]
+		if top.cancelled {
+			heap.Pop(&e.heap)
+			e.cancelled++
+			continue
+		}
+		if top.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunUntilIdle executes events until none remain. It panics if the event
+// count exceeds limit, which guards tests against schedule loops.
+func (e *Engine) RunUntilIdle(limit uint64) {
+	start := e.executed
+	for e.Step() {
+		if e.executed-start > limit {
+			panic(fmt.Sprintf("des: exceeded %d events before idle", limit))
+		}
+	}
+}
+
+// RunParallel executes n independent tasks on up to workers goroutines
+// (defaulting to GOMAXPROCS when workers <= 0). Each task builds and runs
+// its own Engine; this is the ONSP-style cluster parallelism translated
+// to Go — determinism inside a run, parallelism across runs.
+func RunParallel(n, workers int, task func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				task(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,273 @@
+package des
+
+import (
+	"sort"
+	"sync/atomic"
+	"testing"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, d := range []Time{5 * Second, 1 * Second, 3 * Second, 2 * Second} {
+		d := d
+		e.After(d, func() { fired = append(fired, e.Now()) })
+	}
+	e.RunUntilIdle(100)
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatalf("events out of order: %v", fired)
+	}
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events want 4", len(fired))
+	}
+	if e.Now() != 5*Second {
+		t.Fatalf("clock = %v want 5s", e.Now())
+	}
+}
+
+func TestTiesBreakInScheduleOrder(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Second, func() { order = append(order, i) })
+	}
+	e.RunUntilIdle(100)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var hits int
+	e.After(Second, func() {
+		hits++
+		e.After(Second, func() {
+			hits++
+			e.After(Second, func() { hits++ })
+		})
+	})
+	e.RunUntilIdle(100)
+	if hits != 3 {
+		t.Fatalf("hits = %d want 3", hits)
+	}
+	if e.Now() != 3*Second {
+		t.Fatalf("clock = %v want 3s", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	h := e.After(Second, func() { fired = true })
+	if !h.Pending() {
+		t.Fatal("handle should be pending before firing")
+	}
+	if !h.Cancel() {
+		t.Fatal("first cancel should report true")
+	}
+	if h.Cancel() {
+		t.Fatal("second cancel should report false")
+	}
+	if h.Pending() {
+		t.Fatal("cancelled handle should not be pending")
+	}
+	e.RunUntilIdle(100)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	e := New()
+	h := e.After(Second, func() {})
+	e.RunUntilIdle(10)
+	if h.Cancel() {
+		t.Fatal("cancel after fire should report false")
+	}
+}
+
+func TestRunStopsAtDeadline(t *testing.T) {
+	e := New()
+	var fired []Time
+	for i := 1; i <= 5; i++ {
+		e.After(Time(i)*Second, func() { fired = append(fired, e.Now()) })
+	}
+	e.Run(3 * Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events before deadline, want 3", len(fired))
+	}
+	if e.Now() != 3*Second {
+		t.Fatalf("clock = %v want exactly the deadline", e.Now())
+	}
+	e.Run(10 * Second)
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(fired))
+	}
+	if e.Now() != 10*Second {
+		t.Fatalf("clock should advance to the deadline even when idle: %v", e.Now())
+	}
+}
+
+func TestRunAdvancesClockWhenEmpty(t *testing.T) {
+	e := New()
+	e.Run(42 * Second)
+	if e.Now() != 42*Second {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestSchedulingIntoPastPanics(t *testing.T) {
+	e := New()
+	e.Run(10 * Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling into the past did not panic")
+		}
+	}()
+	e.At(5*Second, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback did not panic")
+		}
+	}()
+	e.At(0, nil)
+}
+
+func TestRunUntilIdleLimit(t *testing.T) {
+	e := New()
+	var loop func()
+	loop = func() { e.After(Second, loop) }
+	e.After(Second, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("runaway schedule did not trip the limit")
+		}
+	}()
+	e.RunUntilIdle(100)
+}
+
+func TestPendingAndExecutedCounts(t *testing.T) {
+	e := New()
+	h1 := e.After(Second, func() {})
+	e.After(2*Second, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d want 2", e.Pending())
+	}
+	h1.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending after cancel = %d want 1", e.Pending())
+	}
+	e.RunUntilIdle(10)
+	if e.Executed() != 1 {
+		t.Fatalf("Executed = %d want 1", e.Executed())
+	}
+}
+
+func TestStepReturnsFalseWhenDrained(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatal("Step on empty engine should return false")
+	}
+	e.After(Second, func() {})
+	if !e.Step() {
+		t.Fatal("Step with one event should return true")
+	}
+	if e.Step() {
+		t.Fatal("Step after draining should return false")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	// Two engines running the same schedule must produce identical
+	// event traces — the property the whole experiment harness rests on.
+	run := func() []Time {
+		e := New()
+		var trace []Time
+		var tick func()
+		n := 0
+		tick = func() {
+			trace = append(trace, e.Now())
+			n++
+			if n < 50 {
+				e.After(Time(n%7+1)*Millisecond, tick)
+			}
+		}
+		e.After(Millisecond, tick)
+		e.RunUntilIdle(1000)
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Fatal("FromSeconds broken")
+	}
+	if (2 * Second).Seconds() != 2.0 {
+		t.Fatal("Seconds broken")
+	}
+	if (90 * Minute).String() != "1h30m0s" {
+		t.Fatalf("String = %q", (90 * Minute).String())
+	}
+}
+
+func TestRunParallelCoversAllTasks(t *testing.T) {
+	const n = 100
+	var done [n]int32
+	RunParallel(n, 4, func(i int) { atomic.AddInt32(&done[i], 1) })
+	for i, d := range done {
+		if d != 1 {
+			t.Fatalf("task %d ran %d times", i, d)
+		}
+	}
+}
+
+func TestRunParallelDefaults(t *testing.T) {
+	var count int64
+	RunParallel(10, 0, func(int) { atomic.AddInt64(&count, 1) })
+	if count != 10 {
+		t.Fatalf("count = %d", count)
+	}
+	RunParallel(0, 4, func(int) { t.Error("task ran for n=0") })
+	RunParallel(3, 100, func(int) { atomic.AddInt64(&count, 1) })
+	if count != 13 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	e := New()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%1000)*Microsecond, func() {})
+		if i%1024 == 1023 {
+			e.RunUntilIdle(2048)
+		}
+	}
+	e.RunUntilIdle(uint64(b.N) + 1)
+}

@@ -1,0 +1,323 @@
+// Package metrics holds the measurement machinery shared by the protocol
+// and the experiment harness: streaming aggregates, per-level breakdowns
+// (the x-axis of most of the paper's figures), fixed-bucket histograms, a
+// windowed bandwidth meter (what a node uses to decide level shifts), and
+// plain-text table/series rendering for the figure reproductions.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"peerwindow/internal/des"
+)
+
+// Agg is a streaming aggregate: count, mean, min, max and variance via
+// Welford's algorithm. The zero value is ready to use.
+type Agg struct {
+	n          int64
+	mean, m2   float64
+	min, max   float64
+	hasExtrema bool
+}
+
+// Add folds one observation in.
+func (a *Agg) Add(v float64) {
+	a.n++
+	d := v - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (v - a.mean)
+	if !a.hasExtrema || v < a.min {
+		a.min = v
+	}
+	if !a.hasExtrema || v > a.max {
+		a.max = v
+	}
+	a.hasExtrema = true
+}
+
+// Merge folds another aggregate in (parallel reduction).
+func (a *Agg) Merge(b Agg) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
+	a.mean += d * float64(b.n) / float64(n)
+	a.n = n
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+}
+
+// N returns the observation count.
+func (a Agg) N() int64 { return a.n }
+
+// Mean returns the running mean, or 0 with no observations.
+func (a Agg) Mean() float64 { return a.mean }
+
+// Min returns the smallest observation, or 0 with none.
+func (a Agg) Min() float64 { return a.min }
+
+// Max returns the largest observation, or 0 with none.
+func (a Agg) Max() float64 { return a.max }
+
+// Std returns the sample standard deviation, or 0 for n < 2.
+func (a Agg) Std() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n-1))
+}
+
+// PerLevel keys aggregates by PeerWindow level, growing on demand. The
+// zero value is ready to use.
+type PerLevel struct {
+	aggs []Agg
+}
+
+// Add folds an observation for the given level. Negative levels panic.
+func (p *PerLevel) Add(level int, v float64) {
+	if level < 0 {
+		panic(fmt.Sprintf("metrics: negative level %d", level))
+	}
+	for len(p.aggs) <= level {
+		p.aggs = append(p.aggs, Agg{})
+	}
+	p.aggs[level].Add(v)
+}
+
+// Level returns the aggregate for one level (zero aggregate if unseen).
+func (p *PerLevel) Level(level int) Agg {
+	if level < 0 || level >= len(p.aggs) {
+		return Agg{}
+	}
+	return p.aggs[level]
+}
+
+// MaxLevel returns the highest level index with at least one observation,
+// or -1 if empty.
+func (p *PerLevel) MaxLevel() int {
+	for l := len(p.aggs) - 1; l >= 0; l-- {
+		if p.aggs[l].N() > 0 {
+			return l
+		}
+	}
+	return -1
+}
+
+// TotalN returns the observation count across all levels.
+func (p *PerLevel) TotalN() int64 {
+	var n int64
+	for i := range p.aggs {
+		n += p.aggs[i].N()
+	}
+	return n
+}
+
+// Overall merges every level into one aggregate.
+func (p *PerLevel) Overall() Agg {
+	var out Agg
+	for i := range p.aggs {
+		out.Merge(p.aggs[i])
+	}
+	return out
+}
+
+// Histogram counts observations in half-open buckets
+// [bounds[i], bounds[i+1]); values below bounds[0] or >= the last bound
+// land in underflow/overflow.
+type Histogram struct {
+	bounds              []float64
+	counts              []int64
+	underflow, overflow int64
+}
+
+// NewHistogram builds a histogram over strictly increasing bounds (at
+// least two).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) < 2 {
+		panic("metrics: histogram needs >= 2 bounds")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly increasing")
+		}
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)-1)}
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(v float64) {
+	if v < h.bounds[0] {
+		h.underflow++
+		return
+	}
+	if v >= h.bounds[len(h.bounds)-1] {
+		h.overflow++
+		return
+	}
+	// Binary search for the containing bucket.
+	lo, hi := 0, len(h.bounds)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo]++
+}
+
+// Bucket returns the count of bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.counts[i] }
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Outliers returns the underflow and overflow counts.
+func (h *Histogram) Outliers() (under, over int64) { return h.underflow, h.overflow }
+
+// Total returns all observations including outliers.
+func (h *Histogram) Total() int64 {
+	n := h.underflow + h.overflow
+	for _, c := range h.counts {
+		n += c
+	}
+	return n
+}
+
+// Meter measures a node's bandwidth cost over a sliding window of virtual
+// time — the "dynamically measured" W_T of §4.3 that drives level
+// estimation and the autonomic level shifting of §2. It keeps per-slot
+// bit counts and reports the windowed rate.
+type Meter struct {
+	window des.Time
+	slots  int
+	slot   des.Time
+	bits   []float64
+	// cur is the index of the slot containing 'upto'.
+	cur  int
+	upto des.Time
+}
+
+// NewMeter builds a meter with the given window, split into slots
+// sub-intervals (more slots = smoother decay).
+func NewMeter(window des.Time, slots int) *Meter {
+	if window <= 0 || slots <= 0 {
+		panic("metrics: meter needs positive window and slots")
+	}
+	return &Meter{
+		window: window,
+		slots:  slots,
+		slot:   window / des.Time(slots),
+		bits:   make([]float64, slots),
+	}
+}
+
+// advance rotates slots so that 'now' falls inside the current one.
+func (m *Meter) advance(now des.Time) {
+	if now <= m.upto {
+		return
+	}
+	steps := int((now - m.upto) / m.slot)
+	if steps > m.slots {
+		steps = m.slots
+	}
+	for i := 0; i < steps; i++ {
+		m.cur = (m.cur + 1) % m.slots
+		m.bits[m.cur] = 0
+	}
+	// Snap upto forward in whole slots, then remember 'now' is inside.
+	m.upto += des.Time(steps) * m.slot
+	if now > m.upto {
+		// Gap larger than the window; jump.
+		m.upto = now
+	}
+}
+
+// Add records bits transferred at virtual time now. Time must not go
+// backwards.
+func (m *Meter) Add(now des.Time, bitCount float64) {
+	m.advance(now)
+	m.bits[m.cur] += bitCount
+}
+
+// Rate returns the average bit/s over the window ending at now.
+func (m *Meter) Rate(now des.Time) float64 {
+	m.advance(now)
+	var sum float64
+	for _, b := range m.bits {
+		sum += b
+	}
+	return sum / m.window.Seconds()
+}
+
+// Reservoir keeps a bounded uniform sample of a stream (Vitter's
+// algorithm R) and answers quantile queries over it — used for latency
+// and delay distributions where exact order statistics over millions of
+// observations would be wasteful.
+type Reservoir struct {
+	cap    int
+	seen   int64
+	values []float64
+	// next draws replacement indices; a linear-congruential step is
+	// plenty for sampling and keeps the zero-dependency promise here.
+	state uint64
+}
+
+// NewReservoir builds a reservoir holding up to capacity observations.
+func NewReservoir(capacity int, seed uint64) *Reservoir {
+	if capacity <= 0 {
+		panic("metrics: reservoir capacity must be positive")
+	}
+	return &Reservoir{cap: capacity, state: seed*6364136223846793005 + 1442695040888963407}
+}
+
+func (r *Reservoir) rand() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state >> 11
+}
+
+// Add folds one observation into the sample.
+func (r *Reservoir) Add(v float64) {
+	r.seen++
+	if len(r.values) < r.cap {
+		r.values = append(r.values, v)
+		return
+	}
+	if j := r.rand() % uint64(r.seen); j < uint64(r.cap) {
+		r.values[j] = v
+	}
+}
+
+// N returns how many observations were offered.
+func (r *Reservoir) N() int64 { return r.seen }
+
+// Quantile returns the q-quantile (0..1) of the sample, or 0 when empty.
+func (r *Reservoir) Quantile(q float64) float64 {
+	if len(r.values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), r.values...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

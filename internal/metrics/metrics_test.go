@@ -1,0 +1,291 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"peerwindow/internal/des"
+)
+
+func TestAggBasics(t *testing.T) {
+	var a Agg
+	if a.N() != 0 || a.Mean() != 0 || a.Std() != 0 {
+		t.Fatal("zero aggregate not zero")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(v)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if a.Mean() != 5 {
+		t.Fatalf("Mean = %g", a.Mean())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("extrema = %g,%g", a.Min(), a.Max())
+	}
+	// Population std of this classic set is 2; sample std is
+	// sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(a.Std()-want) > 1e-12 {
+		t.Fatalf("Std = %g want %g", a.Std(), want)
+	}
+}
+
+func TestAggNegativeValues(t *testing.T) {
+	var a Agg
+	a.Add(-5)
+	a.Add(5)
+	if a.Min() != -5 || a.Max() != 5 || a.Mean() != 0 {
+		t.Fatalf("negative handling broken: %+v", a)
+	}
+}
+
+func TestAggMergeMatchesSequential(t *testing.T) {
+	var whole, left, right Agg
+	for i := 0; i < 100; i++ {
+		v := float64(i*i%37) - 11
+		whole.Add(v)
+		if i%2 == 0 {
+			left.Add(v)
+		} else {
+			right.Add(v)
+		}
+	}
+	left.Merge(right)
+	if left.N() != whole.N() {
+		t.Fatalf("merged N = %d want %d", left.N(), whole.N())
+	}
+	if math.Abs(left.Mean()-whole.Mean()) > 1e-9 {
+		t.Fatalf("merged mean = %g want %g", left.Mean(), whole.Mean())
+	}
+	if math.Abs(left.Std()-whole.Std()) > 1e-9 {
+		t.Fatalf("merged std = %g want %g", left.Std(), whole.Std())
+	}
+	if left.Min() != whole.Min() || left.Max() != whole.Max() {
+		t.Fatal("merged extrema wrong")
+	}
+}
+
+func TestAggMergeEmptyCases(t *testing.T) {
+	var a, b Agg
+	a.Merge(b) // empty into empty
+	if a.N() != 0 {
+		t.Fatal("empty merge changed aggregate")
+	}
+	b.Add(3)
+	a.Merge(b) // non-empty into empty
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Fatal("merge into empty broken")
+	}
+	var c Agg
+	a.Merge(c) // empty into non-empty
+	if a.N() != 1 {
+		t.Fatal("merging empty changed aggregate")
+	}
+}
+
+func TestPerLevel(t *testing.T) {
+	var p PerLevel
+	if p.MaxLevel() != -1 {
+		t.Fatal("empty PerLevel MaxLevel should be -1")
+	}
+	p.Add(0, 1)
+	p.Add(0, 3)
+	p.Add(3, 10)
+	if p.Level(0).Mean() != 2 {
+		t.Fatalf("level 0 mean = %g", p.Level(0).Mean())
+	}
+	if p.Level(1).N() != 0 {
+		t.Fatal("unseen level should be empty")
+	}
+	if p.Level(-1).N() != 0 || p.Level(99).N() != 0 {
+		t.Fatal("out-of-range Level should return empty aggregate")
+	}
+	if p.MaxLevel() != 3 {
+		t.Fatalf("MaxLevel = %d", p.MaxLevel())
+	}
+	if p.TotalN() != 3 {
+		t.Fatalf("TotalN = %d", p.TotalN())
+	}
+	if math.Abs(p.Overall().Mean()-(1.0+3+10)/3) > 1e-12 {
+		t.Fatalf("Overall mean = %g", p.Overall().Mean())
+	}
+}
+
+func TestPerLevelNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative level did not panic")
+		}
+	}()
+	var p PerLevel
+	p.Add(-1, 0)
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 10, 100, 1000})
+	for _, v := range []float64{-1, 0, 5, 9.99, 10, 50, 999, 1000, 5000} {
+		h.Add(v)
+	}
+	if h.Buckets() != 3 {
+		t.Fatalf("Buckets = %d", h.Buckets())
+	}
+	if h.Bucket(0) != 3 { // 0, 5, 9.99
+		t.Fatalf("bucket 0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(1) != 2 { // 10, 50
+		t.Fatalf("bucket 1 = %d", h.Bucket(1))
+	}
+	if h.Bucket(2) != 1 { // 999
+		t.Fatalf("bucket 2 = %d", h.Bucket(2))
+	}
+	under, over := h.Outliers()
+	if under != 1 || over != 2 {
+		t.Fatalf("outliers = %d,%d", under, over)
+	}
+	if h.Total() != 9 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for _, bounds := range [][]float64{{}, {1}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestMeterSteadyRate(t *testing.T) {
+	m := NewMeter(10*des.Second, 10)
+	// 1000 bits every second for 30 s: steady 1000 bit/s.
+	for s := 1; s <= 30; s++ {
+		m.Add(des.Time(s)*des.Second, 1000)
+	}
+	got := m.Rate(30 * des.Second)
+	if math.Abs(got-1000) > 150 {
+		t.Fatalf("steady rate = %g want ~1000", got)
+	}
+}
+
+func TestMeterDecaysToZero(t *testing.T) {
+	m := NewMeter(10*des.Second, 10)
+	m.Add(des.Second, 5000)
+	if r := m.Rate(2 * des.Second); r <= 0 {
+		t.Fatalf("fresh traffic invisible: %g", r)
+	}
+	if r := m.Rate(100 * des.Second); r != 0 {
+		t.Fatalf("rate did not decay to zero: %g", r)
+	}
+}
+
+func TestMeterLargeGap(t *testing.T) {
+	m := NewMeter(10*des.Second, 10)
+	m.Add(des.Second, 1e6)
+	// A gap of several windows must fully clear the history.
+	m.Add(1000*des.Second, 100)
+	r := m.Rate(1000 * des.Second)
+	if r > 100 {
+		t.Fatalf("old traffic leaked through gap: %g", r)
+	}
+}
+
+func TestMeterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid meter did not panic")
+		}
+	}()
+	NewMeter(0, 10)
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Figure X", "level", "nodes", "share")
+	tb.AddRow(0, 55000, 0.55)
+	tb.AddRow(1, 30000, 0.30123)
+	tb.AddRow("total", 85000, 1.0)
+	if tb.Rows() != 3 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	out := tb.Render()
+	for _, want := range []string{"Figure X", "level", "55000", "0.30", "total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + rule + 3 rows
+	if len(lines) != 6 {
+		t.Fatalf("render has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		5:       "5",
+		-3:      "-3",
+		0.005:   "0.005",
+		1234.56: "1234.56",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%g) = %q want %q", v, got, want)
+		}
+	}
+}
+
+func TestReservoirExactBelowCapacity(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for i := 1; i <= 9; i++ {
+		r.Add(float64(i))
+	}
+	if r.N() != 9 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if got := r.Quantile(0); got != 1 {
+		t.Fatalf("min = %g", got)
+	}
+	if got := r.Quantile(1); got != 9 {
+		t.Fatalf("max = %g", got)
+	}
+	if got := r.Quantile(0.5); got != 5 {
+		t.Fatalf("median = %g", got)
+	}
+}
+
+func TestReservoirSamplesUniformly(t *testing.T) {
+	// Stream 0..9999 through a 500-slot reservoir; the sampled median
+	// should approximate the true median.
+	r := NewReservoir(500, 2)
+	for i := 0; i < 10000; i++ {
+		r.Add(float64(i))
+	}
+	med := r.Quantile(0.5)
+	if med < 3500 || med > 6500 {
+		t.Fatalf("sampled median %g far from 5000", med)
+	}
+	if r.N() != 10000 {
+		t.Fatalf("N = %d", r.N())
+	}
+}
+
+func TestReservoirEmptyAndValidation(t *testing.T) {
+	r := NewReservoir(4, 3)
+	if r.Quantile(0.5) != 0 {
+		t.Fatal("empty reservoir should answer 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity did not panic")
+		}
+	}()
+	NewReservoir(0, 1)
+}

@@ -1,0 +1,211 @@
+package nodeid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigenstringOfPaperExample(t *testing.T) {
+	// Figure 1 of the paper: node E has nodeId 1011 and level 1, so its
+	// eigenstring is "1". Node H has nodeId 10** and level 2, eigenstring
+	// "10".
+	e, _ := FromBitString("1011")
+	es := EigenstringOf(e, 1)
+	if es.String() != "1" {
+		t.Fatalf("eigenstring = %q want \"1\"", es)
+	}
+	h, _ := FromBitString("1000")
+	hs := EigenstringOf(h, 2)
+	if hs.String() != "10" {
+		t.Fatalf("eigenstring = %q want \"10\"", hs)
+	}
+	if !hs.InAudienceOf(e) {
+		t.Fatal("\"10\" should be in the audience of 1011")
+	}
+	// Property 2 of §2: E ("1") is stronger than H ("10").
+	if !es.StrongerThan(hs) {
+		t.Fatal("\"1\" should be stronger than \"10\"")
+	}
+	if hs.StrongerThan(es) {
+		t.Fatal("\"10\" must not be stronger than \"1\"")
+	}
+}
+
+func TestBlankEigenstring(t *testing.T) {
+	var blank Eigenstring
+	if blank.String() != "ε" {
+		t.Fatalf("blank renders as %q", blank)
+	}
+	if blank.Level() != 0 {
+		t.Fatal("blank eigenstring level should be 0")
+	}
+	// Property 3 of §2: a 0-level node's peer list covers the whole
+	// system.
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		if !blank.Contains(randomID(r)) {
+			t.Fatal("blank eigenstring must contain every ID")
+		}
+	}
+}
+
+func TestParseEigenstringRoundTrip(t *testing.T) {
+	for _, s := range []string{"0", "1", "10", "0101", "111000111"} {
+		e, err := ParseEigenstring(s)
+		if err != nil {
+			t.Fatalf("ParseEigenstring(%q): %v", s, err)
+		}
+		if e.String() != s {
+			t.Fatalf("round trip %q -> %q", s, e)
+		}
+		if e.Level() != len(s) {
+			t.Fatalf("level = %d want %d", e.Level(), len(s))
+		}
+	}
+	if _, err := ParseEigenstring("01a"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestContainsMatchesPrefix(t *testing.T) {
+	f := func(idHi, idLo, subjHi, subjLo uint64, l8 uint8) bool {
+		id := ID{Hi: idHi, Lo: idLo}
+		subj := ID{Hi: subjHi, Lo: subjLo}
+		l := int(l8) % (Bits + 1)
+		e := EigenstringOf(id, l)
+		return e.Contains(subj) == (id.CommonPrefixLen(subj) >= l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsPrefixOf(t *testing.T) {
+	a, _ := ParseEigenstring("10")
+	b, _ := ParseEigenstring("101")
+	c, _ := ParseEigenstring("11")
+	if !a.IsPrefixOf(b) || !a.IsPrefixOf(a) {
+		t.Fatal("prefix relation wrong")
+	}
+	if b.IsPrefixOf(a) {
+		t.Fatal("longer string cannot be prefix of shorter")
+	}
+	if a.IsPrefixOf(c) || c.IsPrefixOf(a) {
+		t.Fatal("\"10\" and \"11\" are unrelated")
+	}
+	var blank Eigenstring
+	if !blank.IsPrefixOf(a) || !blank.IsPrefixOf(blank) {
+		t.Fatal("blank is a prefix of everything")
+	}
+}
+
+func TestExtendParentSibling(t *testing.T) {
+	e, _ := ParseEigenstring("10")
+	if got := e.Extend(1).String(); got != "101" {
+		t.Fatalf("Extend(1) = %q", got)
+	}
+	if got := e.Extend(0).String(); got != "100" {
+		t.Fatalf("Extend(0) = %q", got)
+	}
+	if got := e.Parent().String(); got != "1" {
+		t.Fatalf("Parent = %q", got)
+	}
+	if got := e.Sibling().String(); got != "11" {
+		t.Fatalf("Sibling = %q", got)
+	}
+	if e.Sibling().Sibling() != e {
+		t.Fatal("double sibling should be identity")
+	}
+	if e.Extend(1).Parent() != e {
+		t.Fatal("Extend then Parent should be identity")
+	}
+}
+
+func TestParentOfBlankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Parent of blank did not panic")
+		}
+	}()
+	_ = (Eigenstring{}).Parent()
+}
+
+func TestSiblingOfBlankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sibling of blank did not panic")
+		}
+	}()
+	_ = (Eigenstring{}).Sibling()
+}
+
+func TestAudienceEigenstrings(t *testing.T) {
+	// The audience set of the paper's node E (1011) down to level 2 is
+	// {ε, "1", "10"} — exactly what figure 2 depicts.
+	e, _ := FromBitString("1011")
+	got := AudienceEigenstrings(e, 2)
+	want := []string{"ε", "1", "10"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d strings want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].String() != w {
+			t.Fatalf("audience[%d] = %q want %q", i, got[i], w)
+		}
+		if !got[i].InAudienceOf(e) {
+			t.Fatalf("audience[%d] not in audience of subject", i)
+		}
+	}
+	if AudienceEigenstrings(e, -1) != nil {
+		t.Fatal("negative maxLevel should return nil")
+	}
+	if got := AudienceEigenstrings(e, Bits+10); len(got) != Bits+1 {
+		t.Fatalf("maxLevel should clamp to %d, got %d entries", Bits, len(got))
+	}
+}
+
+func TestAudienceIsPrefixChain(t *testing.T) {
+	// Every eigenstring in an audience set is a prefix of the next —
+	// the "stronger covers weaker" property (§2 property 2).
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		subj := randomID(r)
+		chain := AudienceEigenstrings(subj, 12)
+		for j := 1; j < len(chain); j++ {
+			if !chain[j-1].StrongerThan(chain[j]) {
+				t.Fatalf("chain[%d] not stronger than chain[%d]", j-1, j)
+			}
+		}
+	}
+}
+
+func TestEigenstringMapKey(t *testing.T) {
+	// Eigenstrings must be canonical (tail bits zeroed) to work as map
+	// keys: two nodes with the same prefix but different suffixes share
+	// the key.
+	a, _ := FromBitString("10110000")
+	b, _ := FromBitString("10111111")
+	m := map[Eigenstring]int{}
+	m[EigenstringOf(a, 4)]++
+	m[EigenstringOf(b, 4)]++
+	if len(m) != 1 || m[EigenstringOf(a, 4)] != 2 {
+		t.Fatal("eigenstrings with equal prefixes must collide as map keys")
+	}
+	if EigenstringOf(a, 5) == EigenstringOf(b, 5) {
+		t.Fatal("different 5-bit prefixes must not collide")
+	}
+}
+
+func TestLevelBoundsPanic(t *testing.T) {
+	for _, l := range []int{-1, Bits + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("EigenstringOf level %d did not panic", l)
+				}
+			}()
+			_ = EigenstringOf(ID{}, l)
+		}()
+	}
+}

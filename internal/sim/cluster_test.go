@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+
+	"peerwindow/internal/core"
+	"peerwindow/internal/des"
+)
+
+func smallCluster(t testing.TB, n int, seed uint64) *Cluster {
+	t.Helper()
+	cfg := ClusterConfig{Core: core.DefaultConfig(), Seed: seed}
+	// High thresholds keep everyone at level 0 for the basic checks.
+	c := NewCluster(cfg)
+	first := c.AddNode(1e9)
+	c.Bootstrap(first)
+	for i := 1; i < n; i++ {
+		sn := c.AddNode(1e9)
+		boot := c.RandomJoined(sn)
+		if err := c.Join(sn, boot, des.Hour); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		// Let each join's multicast finish so peer-list snapshots taken
+		// by later joiners are complete; concurrent-churn behaviour is
+		// covered by the dedicated churn tests.
+		c.Run(30 * des.Second)
+	}
+	return c
+}
+
+func TestJoinPropagatesToEveryone(t *testing.T) {
+	c := smallCluster(t, 20, 1)
+	c.Run(2 * des.Minute)
+	for i, sn := range c.Alive() {
+		errs := c.Audit(sn)
+		if errs.Total() != 0 {
+			t.Fatalf("node %d peer list has %d absent, %d stale (of %d correct)",
+				i, errs.Absent, errs.Stale, errs.Correct)
+		}
+		if got := sn.Node.Peers().Len(); got != 19 {
+			t.Fatalf("node %d has %d peers, want 19", i, got)
+		}
+	}
+}
+
+func TestCrashDetectedAndMulticast(t *testing.T) {
+	c := smallCluster(t, 15, 2)
+	c.Run(time2())
+	victim := c.Alive()[7]
+	c.Kill(victim)
+	// Probe interval 30s + timeout + multicast: give it a few minutes.
+	c.Run(5 * des.Minute)
+	for i, sn := range c.Alive() {
+		errs := c.Audit(sn)
+		if errs.Stale != 0 {
+			t.Fatalf("node %d still has %d stale pointers after crash", i, errs.Stale)
+		}
+		if errs.Absent != 0 {
+			t.Fatalf("node %d lost %d live pointers", i, errs.Absent)
+		}
+	}
+}
+
+func time2() des.Time { return 2 * des.Minute }
+
+func TestVoluntaryLeavePropagates(t *testing.T) {
+	c := smallCluster(t, 12, 3)
+	c.Run(time2())
+	leaver := c.Alive()[3]
+	c.Leave(leaver)
+	c.Run(2 * des.Minute)
+	for i, sn := range c.Alive() {
+		if errs := c.Audit(sn); errs.Total() != 0 {
+			t.Fatalf("node %d: %+v after voluntary leave", i, errs)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"peerwindow/internal/core"
+	"peerwindow/internal/des"
+	"peerwindow/internal/metrics"
+	"peerwindow/internal/workload"
+)
+
+// RunCommonFull is the full-fidelity counterpart of RunCommon: the same
+// common experiment (§5.1) executed with every protocol message as a
+// discrete event and real core.Node state machines, at a scale a single
+// machine's memory allows (hundreds to a few thousand nodes — peer lists
+// are O(N) per node). It exists as an independent check on the scaled
+// methodology: the two pipelines share no measurement code, so agreement
+// between them (see TestScaledMatchesFullFidelity and
+// BenchmarkAblationFidelity) validates both.
+//
+// Bandwidth here is measured by the nodes' own meters — the very numbers
+// the autonomic level shifting acts on — rather than derived from event
+// accounting.
+func RunCommonFull(n int, wl workload.Config, seed uint64, warm, measure des.Time) CommonResult {
+	cfg := ClusterConfig{Core: DefaultFullCore(), Seed: seed}
+	c := NewCluster(cfg)
+	c.WarmStart(n, wl, 2)
+	ch := NewChurn(c, ChurnConfig{Workload: wl, TargetPopulation: n, CrashFraction: 0.5})
+	ch.Start()
+	c.Run(warm)
+
+	// Measurement window: sample error rates at a few instants, read
+	// meters at the end.
+	maxLevel := cfg.Core.MaxLevel
+	errAggs := make([]metrics.Agg, maxLevel+1)
+	const instants = 5
+	for i := 0; i < instants; i++ {
+		c.Run(measure / instants)
+		for _, sn := range c.Alive() {
+			if !sn.Node.Joined() {
+				continue
+			}
+			l := sn.Node.Level()
+			if l > maxLevel {
+				continue
+			}
+			errAggs[l].Add(c.Audit(sn).Rate())
+		}
+	}
+
+	levelCounts := make([]int, maxLevel+1)
+	sizes := make([]metrics.Agg, maxLevel+1)
+	in := make([]metrics.Agg, maxLevel+1)
+	out := make([]metrics.Agg, maxLevel+1)
+	pop := 0
+	for _, sn := range c.Alive() {
+		if !sn.Node.Joined() {
+			continue
+		}
+		pop++
+		l := sn.Node.Level()
+		if l > maxLevel {
+			continue
+		}
+		levelCounts[l]++
+		sizes[l].Add(float64(sn.Node.Peers().Len()))
+		in[l].Add(sn.Node.InputRate())
+		out[l].Add(sn.Node.OutputRate())
+	}
+	last := len(levelCounts) - 1
+	for last > 0 && levelCounts[last] == 0 {
+		last--
+	}
+	return CommonResult{
+		N:            n,
+		LifetimeRate: wl.LifetimeRate,
+		Population:   pop,
+		LevelCounts:  levelCounts[:last+1],
+		ListSizes:    sizes,
+		ErrorRates:   errAggs,
+		InBps:        in,
+		OutBps:       out,
+	}
+}
+
+// DefaultFullCore returns the protocol configuration full-fidelity
+// experiment runs use — paper defaults with a refresh floor short enough
+// to matter inside an experiment window.
+func DefaultFullCore() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.RefreshFloor = 2 * des.Minute
+	return cfg
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"peerwindow/internal/nodeid"
+	"peerwindow/internal/xrand"
+)
+
+func TestPrefixCountMatchesBruteForce(t *testing.T) {
+	const depth = 12
+	pc := newPrefixCount(depth)
+	rng := xrand.New(1)
+	var ids []nodeid.ID
+	for i := 0; i < 500; i++ {
+		id := nodeid.ID{Hi: rng.Uint64(), Lo: rng.Uint64()}
+		pc.Add(id)
+		ids = append(ids, id)
+	}
+	// Remove a third of them.
+	for i := 0; i < len(ids); i += 3 {
+		pc.Remove(ids[i])
+	}
+	alive := make(map[nodeid.ID]bool)
+	for i, id := range ids {
+		alive[id] = i%3 != 0
+	}
+	for trial := 0; trial < 200; trial++ {
+		probe := ids[rng.Intn(len(ids))]
+		l := rng.Intn(depth + 1)
+		want := 0
+		e := nodeid.EigenstringOf(probe, l)
+		for id, ok := range alive {
+			if ok && e.Contains(id) {
+				want++
+			}
+		}
+		if got := pc.Count(probe, l); got != want {
+			t.Fatalf("Count(l=%d) = %d want %d", l, got, want)
+		}
+	}
+	wantTotal := 0
+	for _, ok := range alive {
+		if ok {
+			wantTotal++
+		}
+	}
+	if pc.Total() != wantTotal {
+		t.Fatalf("Total = %d want %d", pc.Total(), wantTotal)
+	}
+}
+
+func TestPrefixCountDepthClamp(t *testing.T) {
+	pc := newPrefixCount(4)
+	id := nodeid.ID{Hi: ^uint64(0)}
+	pc.Add(id)
+	// Queries beyond depth clamp to depth.
+	if pc.Count(id, 10) != pc.Count(id, 4) {
+		t.Fatal("deep query did not clamp")
+	}
+}
+
+func TestPrefixCountDepthValidation(t *testing.T) {
+	for _, d := range []int{-1, maxPrefixDepth + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("depth %d did not panic", d)
+				}
+			}()
+			newPrefixCount(d)
+		}()
+	}
+}
+
+func TestBucketMSBAligned(t *testing.T) {
+	// bucket(id, l) must be the top l bits: for id with only the MSB
+	// set, bucket at any l>0 is 2^(l-1).
+	id := nodeid.ID{Hi: 1 << 63}
+	for l := 1; l <= 10; l++ {
+		if got := bucket(id, l); got != 1<<uint(l-1) {
+			t.Fatalf("bucket(msb, %d) = %d want %d", l, got, 1<<uint(l-1))
+		}
+	}
+	if bucket(id, 0) != 0 {
+		t.Fatal("bucket at depth 0 must be 0")
+	}
+}
+
+func TestLevelPrefixCountAudience(t *testing.T) {
+	lc := newLevelPrefixCount(10)
+	// Figure 2: audience of subject 1011… consists of the blank, "1",
+	// "10", "101" eigenstring holders.
+	mk := func(bits string) nodeid.ID {
+		id, err := nodeid.FromBitString(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	lc.Add(mk("0000"), 0) // blank eigenstring: audience member
+	lc.Add(mk("1100"), 1) // "1": member
+	lc.Add(mk("1000"), 2) // "10": member
+	lc.Add(mk("1110"), 2) // "11": not
+	lc.Add(mk("0100"), 1) // "0": not
+	subject := mk("1011")
+	if got := lc.Audience(subject, 0); got != 1 {
+		t.Fatalf("A_0 = %d", got)
+	}
+	if got := lc.Audience(subject, 1); got != 1 {
+		t.Fatalf("A_1 = %d", got)
+	}
+	if got := lc.Audience(subject, 2); got != 1 {
+		t.Fatalf("A_2 = %d", got)
+	}
+	if got := lc.LevelCount(2); got != 2 {
+		t.Fatalf("LevelCount(2) = %d", got)
+	}
+	lc.Remove(mk("1000"), 2)
+	if got := lc.Audience(subject, 2); got != 0 {
+		t.Fatalf("A_2 after removal = %d", got)
+	}
+}
+
+func TestPrefixCountAddRemoveInverse(t *testing.T) {
+	f := func(hi, lo uint64, l8 uint8) bool {
+		pc := newPrefixCount(10)
+		id := nodeid.ID{Hi: hi, Lo: lo}
+		pc.Add(id)
+		pc.Remove(id)
+		l := int(l8) % 11
+		return pc.Count(id, l) == 0 && pc.Total() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaledDeterministicReplay(t *testing.T) {
+	run := func() ([]int, uint64, uint64) {
+		s := NewScaled(DefaultScaledConfig(5000, 42))
+		s.Run(20 * 60 * 1e9) // 20 virtual minutes in nanoseconds
+		return s.LevelCounts(), s.Joins, s.Leaves
+	}
+	l1, j1, d1 := run()
+	l2, j2, d2 := run()
+	if j1 != j2 || d1 != d2 {
+		t.Fatalf("churn counters diverged: %d/%d vs %d/%d", j1, d1, j2, d2)
+	}
+	if len(l1) != len(l2) {
+		t.Fatalf("level count lengths diverged")
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("level %d diverged: %d vs %d", i, l1[i], l2[i])
+		}
+	}
+}
+
+func TestClusterDeterministicReplay(t *testing.T) {
+	run := func() (uint64, uint64) {
+		c := smallCluster(t, 12, 99)
+		c.Run(time2())
+		return c.MessagesSent, c.BitsSent
+	}
+	m1, b1 := run()
+	m2, b2 := run()
+	if m1 != m2 || b1 != b2 {
+		t.Fatalf("full-fidelity replay diverged: %d/%d vs %d/%d", m1, b1, m2, b2)
+	}
+}

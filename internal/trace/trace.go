@@ -1,0 +1,102 @@
+// Package trace provides a bounded, concurrency-safe event ring for
+// post-mortem debugging of live overlays: the transport records message
+// flow into it with negligible overhead, and tools dump the tail on
+// demand. A fixed-capacity ring (rather than a log file) keeps tracing
+// always-on-capable: memory use is constant no matter how long the
+// overlay runs.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"peerwindow/internal/des"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	// At is the virtual time of the event.
+	At des.Time
+	// Node identifies the acting node (an opaque address).
+	Node uint64
+	// Kind is a short category tag ("send", "drop", "deliver", …).
+	Kind string
+	// Detail is free-form context.
+	Detail string
+}
+
+// Ring is a fixed-capacity event buffer. The zero value is not usable;
+// use NewRing. All methods are safe for concurrent use.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	count int
+	total uint64
+}
+
+// NewRing builds a ring holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("trace: ring capacity must be positive")
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record appends an event, evicting the oldest when full.
+func (r *Ring) Record(at des.Time, node uint64, kind, detail string) {
+	r.mu.Lock()
+	r.buf[r.next] = Event{At: at, Node: node, Kind: kind, Detail: detail}
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns how many events were ever recorded (including evicted
+// ones).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the retained events oldest-first.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Filter returns the retained events satisfying pred, oldest-first.
+func (r *Ring) Filter(pred func(Event) bool) []Event {
+	all := r.Snapshot()
+	out := all[:0]
+	for _, e := range all {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes the retained events to w, one per line.
+func (r *Ring) Dump(w io.Writer) error {
+	for _, e := range r.Snapshot() {
+		if _, err := fmt.Fprintf(w, "%12s node=%d %-8s %s\n", e.At, e.Node, e.Kind, e.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}

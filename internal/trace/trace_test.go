@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"peerwindow/internal/des"
+)
+
+func TestRingRetainsTail(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 10; i++ {
+		r.Record(des.Time(i)*des.Second, uint64(i), "send", fmt.Sprintf("msg-%d", i))
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("retained %d want 4", len(snap))
+	}
+	for i, e := range snap {
+		want := uint64(7 + i)
+		if e.Node != want {
+			t.Fatalf("snapshot[%d].Node = %d want %d (oldest-first tail)", i, e.Node, want)
+		}
+	}
+}
+
+func TestRingPartiallyFilled(t *testing.T) {
+	r := NewRing(8)
+	r.Record(des.Second, 1, "a", "")
+	r.Record(2*des.Second, 2, "b", "")
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Node != 1 || snap[1].Node != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestRingFilterAndDump(t *testing.T) {
+	r := NewRing(16)
+	r.Record(des.Second, 1, "send", "x")
+	r.Record(2*des.Second, 2, "drop", "y")
+	r.Record(3*des.Second, 1, "send", "z")
+	sends := r.Filter(func(e Event) bool { return e.Kind == "send" })
+	if len(sends) != 2 {
+		t.Fatalf("filtered %d want 2", len(sends))
+	}
+	var buf bytes.Buffer
+	if err := r.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "drop") || strings.Count(out, "\n") != 3 {
+		t.Fatalf("dump unexpected:\n%s", out)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(des.Time(i), uint64(g), "k", "")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 8000 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	if len(r.Snapshot()) != 64 {
+		t.Fatal("ring should be full")
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity did not panic")
+		}
+	}()
+	NewRing(0)
+}

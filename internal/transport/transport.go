@@ -1,0 +1,411 @@
+// Package transport runs PeerWindow nodes live: one goroutine per node,
+// an in-memory network with injected transit-stub latency, and real
+// wall-clock timers. It implements core.Env, so the exact state machine
+// that the discrete-event simulator verifies is what runs here — the
+// paper is simulation-only, and this package is the "existing and future
+// peer-to-peer systems" integration surface its §3 talks about, minus
+// actual sockets (messages stay in process; swapping Send for UDP is the
+// only change a networked deployment needs).
+//
+// Time dilation: protocol constants are expressed in virtual time (30 s
+// probe intervals, 1 s forwarding delays). Running demos in real time
+// would be glacial, so the network maps virtual time onto wall time with
+// a configurable Dilation factor: at Dilation = 60 a virtual minute
+// passes per wall second.
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peerwindow/internal/core"
+	"peerwindow/internal/des"
+	"peerwindow/internal/nodeid"
+	"peerwindow/internal/topology"
+	"peerwindow/internal/trace"
+	"peerwindow/internal/wire"
+	"peerwindow/internal/xrand"
+)
+
+// NetworkConfig configures the in-process network.
+type NetworkConfig struct {
+	// Core is the protocol configuration shared by spawned hosts;
+	// thresholds are set per host.
+	Core core.Config
+	// Topology supplies latencies; nil means ConstLatency.
+	Topology *topology.Network
+	// ConstLatency is the flat virtual one-way latency when Topology is
+	// nil (default 50 ms).
+	ConstLatency des.Time
+	// Dilation compresses time: virtual seconds per wall second
+	// (default 1 = real time; 60 = a virtual minute per second).
+	Dilation float64
+	// LossRate drops each message with this probability.
+	LossRate float64
+	// Seed drives identifier assignment and per-host randomness.
+	Seed uint64
+	// Trace, when non-nil, records message flow (sends, drops,
+	// deliveries) for post-mortem inspection.
+	Trace *trace.Ring
+}
+
+// Network is an in-process overlay substrate. It is safe for concurrent
+// use.
+type Network struct {
+	cfg   NetworkConfig
+	start time.Time
+
+	mu       sync.Mutex
+	hosts    map[wire.Addr]*Host
+	nextAddr wire.Addr
+	rng      *xrand.Source
+	lossRng  *xrand.Source
+	closed   bool
+
+	// Counters (atomic; read via Stats).
+	messages uint64
+	bits     uint64
+	dropped  uint64
+}
+
+// Stats is a snapshot of the network's traffic counters.
+type Stats struct {
+	Messages uint64 // messages handed to the network
+	Bits     uint64 // total encoded bits
+	Dropped  uint64 // messages lost to injection
+	Hosts    int    // live hosts
+}
+
+// Stats returns current traffic totals.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	hosts := len(n.hosts)
+	n.mu.Unlock()
+	return Stats{
+		Messages: atomic.LoadUint64(&n.messages),
+		Bits:     atomic.LoadUint64(&n.bits),
+		Dropped:  atomic.LoadUint64(&n.dropped),
+		Hosts:    hosts,
+	}
+}
+
+// NewNetwork builds an empty network.
+func NewNetwork(cfg NetworkConfig) *Network {
+	if cfg.ConstLatency <= 0 {
+		cfg.ConstLatency = 50 * des.Millisecond
+	}
+	if cfg.Dilation <= 0 {
+		cfg.Dilation = 1
+	}
+	if err := cfg.Core.Validate(); err != nil {
+		panic(err)
+	}
+	root := xrand.New(cfg.Seed)
+	return &Network{
+		cfg:     cfg,
+		start:   time.Now(),
+		hosts:   make(map[wire.Addr]*Host),
+		rng:     root.Split(1),
+		lossRng: root.Split(2),
+	}
+}
+
+// now returns the current virtual time.
+func (n *Network) now() des.Time {
+	return des.Time(float64(time.Since(n.start)) * n.cfg.Dilation)
+}
+
+// toWall converts a virtual duration to a wall duration.
+func (n *Network) toWall(d des.Time) time.Duration {
+	return time.Duration(float64(d) / n.cfg.Dilation)
+}
+
+// Close stops every host. The network cannot be reused.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	hosts := make([]*Host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		hosts = append(hosts, h)
+	}
+	n.mu.Unlock()
+	for _, h := range hosts {
+		h.Shutdown()
+	}
+}
+
+// Spawn creates a host with its own goroutine executor. name seeds the
+// node identifier (consistent hashing, §2); threshold is the node's
+// bandwidth budget in bit/s (0 keeps the configured default).
+func (n *Network) Spawn(name string, threshold float64) *Host {
+	return n.SpawnObserved(name, threshold, core.Observer{})
+}
+
+// SpawnObserved is Spawn with protocol-level callbacks. Observer methods
+// run on the host's executor goroutine and must not block; Host methods
+// must not be called from inside them (they would deadlock the
+// executor).
+func (n *Network) SpawnObserved(name string, threshold float64, obs core.Observer) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		panic("transport: Spawn on closed network")
+	}
+	n.nextAddr++
+	addr := n.nextAddr
+	var attach topology.Attachment
+	if n.cfg.Topology != nil {
+		attach = n.cfg.Topology.RandomAttachment(n.rng)
+	}
+	h := &Host{
+		net:    n,
+		addr:   addr,
+		attach: attach,
+		rng:    n.rng.Split(uint64(addr)),
+		inbox:  make(chan func(), 1024),
+		quit:   make(chan struct{}),
+	}
+	coreCfg := n.cfg.Core
+	if threshold > 0 {
+		coreCfg.ThresholdBits = threshold
+	}
+	self := wire.Pointer{
+		Addr: addr,
+		// Consistent hashing of the name (public-key stand-in), salted
+		// with the address so equal names stay distinct (§2).
+		ID: nodeid.Hash([]byte(fmt.Sprintf("%s/%d", name, addr))),
+	}
+	h.node = core.NewNode(coreCfg, h, obs, self)
+	n.hosts[addr] = h
+	go h.loop()
+	return h
+}
+
+// lookup finds a host by address.
+func (n *Network) lookup(addr wire.Addr) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hosts[addr]
+}
+
+// latency returns the virtual one-way latency between hosts.
+func (n *Network) latency(a, b *Host) des.Time {
+	if n.cfg.Topology != nil {
+		return n.cfg.Topology.Latency(a.attach, b.attach)
+	}
+	return n.cfg.ConstLatency
+}
+
+// deliver routes a message asynchronously with latency and loss.
+func (n *Network) deliver(from *Host, msg wire.Message) {
+	atomic.AddUint64(&n.messages, 1)
+	atomic.AddUint64(&n.bits, uint64(msg.SizeBits()))
+	if n.cfg.Trace != nil {
+		n.cfg.Trace.Record(n.now(), uint64(msg.From), "send",
+			fmt.Sprintf("%v to=%d", msg.Type, msg.To))
+	}
+	if n.cfg.LossRate > 0 {
+		n.mu.Lock()
+		drop := n.lossRng.Float64() < n.cfg.LossRate
+		n.mu.Unlock()
+		if drop {
+			atomic.AddUint64(&n.dropped, 1)
+			if n.cfg.Trace != nil {
+				n.cfg.Trace.Record(n.now(), uint64(msg.From), "drop",
+					fmt.Sprintf("%v to=%d", msg.Type, msg.To))
+			}
+			return
+		}
+	}
+	to := n.lookup(msg.To)
+	if to == nil {
+		return
+	}
+	lat := n.toWall(n.latency(from, to))
+	time.AfterFunc(lat, func() {
+		to.exec(func() {
+			if n.cfg.Trace != nil {
+				n.cfg.Trace.Record(n.now(), uint64(msg.To), "deliver",
+					fmt.Sprintf("%v from=%d", msg.Type, msg.From))
+			}
+			to.node.HandleMessage(msg)
+		})
+	})
+}
+
+// Host is one live node: a core.Node plus its serializing executor.
+type Host struct {
+	net    *Network
+	addr   wire.Addr
+	attach topology.Attachment
+	rng    *xrand.Source
+	node   *core.Node
+
+	inbox chan func()
+	quit  chan struct{}
+	once  sync.Once
+}
+
+// loop is the host's executor: everything that touches the node runs
+// here, satisfying core.Env's serialization contract.
+func (h *Host) loop() {
+	for {
+		select {
+		case fn := <-h.inbox:
+			fn()
+		case <-h.quit:
+			return
+		}
+	}
+}
+
+// exec posts fn to the executor; it drops work after shutdown.
+func (h *Host) exec(fn func()) {
+	select {
+	case h.inbox <- fn:
+	case <-h.quit:
+	}
+}
+
+// call runs fn on the executor and waits for it.
+func (h *Host) call(fn func()) {
+	done := make(chan struct{})
+	h.exec(func() {
+		fn()
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-h.quit:
+	}
+}
+
+// Shutdown stops the host (a crash as far as the overlay is concerned —
+// use Leave for a polite departure).
+func (h *Host) Shutdown() {
+	h.once.Do(func() {
+		h.call(func() { h.node.Stop() })
+		close(h.quit)
+		h.net.mu.Lock()
+		delete(h.net.hosts, h.addr)
+		h.net.mu.Unlock()
+	})
+}
+
+// Addr returns the host's network address.
+func (h *Host) Addr() wire.Addr { return h.addr }
+
+// Self returns the node's current pointer.
+func (h *Host) Self() wire.Pointer {
+	var p wire.Pointer
+	h.call(func() { p = h.node.Self() })
+	return p
+}
+
+// Level returns the node's current level.
+func (h *Host) Level() int {
+	var l int
+	h.call(func() { l = h.node.Level() })
+	return l
+}
+
+// Pointers returns a snapshot of the node's peer list.
+func (h *Host) Pointers() []wire.Pointer {
+	var ps []wire.Pointer
+	h.call(func() { ps = h.node.Peers().Pointers() })
+	return ps
+}
+
+// InputRate returns the measured maintenance input bandwidth (bit/s of
+// virtual time).
+func (h *Host) InputRate() float64 {
+	var r float64
+	h.call(func() { r = h.node.InputRate() })
+	return r
+}
+
+// Bootstrap makes this host the first overlay member.
+func (h *Host) Bootstrap() {
+	h.call(func() { h.node.Bootstrap() })
+}
+
+// Join runs the §4.3 joining process against another host and blocks
+// until it completes or fails.
+func (h *Host) Join(bootstrap wire.Pointer) error {
+	errc := make(chan error, 1)
+	h.exec(func() {
+		h.node.Join(bootstrap, func(err error) { errc <- err })
+	})
+	select {
+	case err := <-errc:
+		return err
+	case <-h.quit:
+		return core.ErrJoinFailed
+	case <-time.After(h.net.toWall(5 * des.Minute)):
+		return fmt.Errorf("transport: join timed out: %w", core.ErrJoinFailed)
+	}
+}
+
+// Leave departs politely, multicasting the leave event first.
+func (h *Host) Leave() {
+	h.call(func() { h.node.Leave() })
+	h.Shutdown()
+}
+
+// SetInfo replaces the node's attached info and announces the change
+// (§3).
+func (h *Host) SetInfo(info []byte) {
+	h.call(func() { h.node.SetInfo(info) })
+}
+
+// SetThreshold adjusts the node's bandwidth budget at runtime (§2
+// autonomy).
+func (h *Host) SetThreshold(w float64) {
+	h.call(func() { h.node.SetThreshold(w) })
+}
+
+// --- core.Env ------------------------------------------------------------
+
+// Now implements core.Env.
+func (h *Host) Now() des.Time { return h.net.now() }
+
+// Rand implements core.Env; only the executor goroutine touches it.
+func (h *Host) Rand() *xrand.Source { return h.rng }
+
+// Send implements core.Env.
+func (h *Host) Send(msg wire.Message) { h.net.deliver(h, msg) }
+
+// liveTimer adapts time.Timer to core.Timer with a fired/cancelled guard
+// so a cancelled callback never runs even if the wall timer already
+// fired and queued it.
+type liveTimer struct {
+	state int32 // 0 pending, 1 fired, 2 cancelled
+	t     *time.Timer
+}
+
+func (lt *liveTimer) Cancel() bool {
+	if atomic.CompareAndSwapInt32(&lt.state, 0, 2) {
+		lt.t.Stop()
+		return true
+	}
+	return false
+}
+
+// SetTimer implements core.Env.
+func (h *Host) SetTimer(delay des.Time, fn func()) core.Timer {
+	lt := &liveTimer{}
+	lt.t = time.AfterFunc(h.net.toWall(delay), func() {
+		h.exec(func() {
+			if atomic.CompareAndSwapInt32(&lt.state, 0, 1) {
+				fn()
+			}
+		})
+	})
+	return lt
+}

@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"peerwindow/internal/core"
+	"peerwindow/internal/des"
+)
+
+// testNetwork runs at 100× — fast enough for tests while keeping the
+// virtual 3 s ack timeout at 30 ms of wall time, well clear of Go timer
+// jitter (at higher dilation, false failure detections appear).
+func testNetwork(seed uint64) *Network {
+	return NewNetwork(NetworkConfig{
+		Core:     core.DefaultConfig(),
+		Dilation: 100,
+		Seed:     seed,
+	})
+}
+
+// settle sleeps for the given virtual duration.
+func settle(n *Network, d des.Time) {
+	time.Sleep(n.toWall(d) + 10*time.Millisecond)
+}
+
+func buildOverlay(t *testing.T, n *Network, count int) []*Host {
+	t.Helper()
+	hosts := make([]*Host, 0, count)
+	first := n.Spawn("host-0", 1e9)
+	first.Bootstrap()
+	hosts = append(hosts, first)
+	for i := 1; i < count; i++ {
+		h := n.Spawn(fmt.Sprintf("host-%d", i), 1e9)
+		boot := hosts[i/2] // any existing member works as bootstrap
+		if err := h.Join(boot.Self()); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		hosts = append(hosts, h)
+		settle(n, 20*des.Second)
+	}
+	return hosts
+}
+
+func TestLiveOverlayConverges(t *testing.T) {
+	n := testNetwork(1)
+	defer n.Close()
+	hosts := buildOverlay(t, n, 10)
+	settle(n, 2*des.Minute)
+	for i, h := range hosts {
+		got := len(h.Pointers())
+		if got != len(hosts)-1 {
+			t.Fatalf("host %d sees %d peers, want %d", i, got, len(hosts)-1)
+		}
+	}
+}
+
+func TestLiveInfoChangePropagates(t *testing.T) {
+	n := testNetwork(2)
+	defer n.Close()
+	hosts := buildOverlay(t, n, 8)
+	settle(n, time30())
+	hosts[3].SetInfo([]byte("os=plan9"))
+	settle(n, 2*des.Minute)
+	subject := hosts[3].Self()
+	for i, h := range hosts {
+		if i == 3 {
+			continue
+		}
+		found := false
+		for _, p := range h.Pointers() {
+			if p.ID == subject.ID && string(p.Info) == "os=plan9" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("host %d did not learn the info change", i)
+		}
+	}
+}
+
+func time30() des.Time { return 30 * des.Second }
+
+func TestLiveLeavePropagates(t *testing.T) {
+	n := testNetwork(3)
+	defer n.Close()
+	hosts := buildOverlay(t, n, 8)
+	settle(n, time30())
+	leaver := hosts[5]
+	leaverID := leaver.Self().ID
+	leaver.Leave()
+	settle(n, 2*des.Minute)
+	for i, h := range hosts {
+		if i == 5 {
+			continue
+		}
+		for _, p := range h.Pointers() {
+			if p.ID == leaverID {
+				t.Fatalf("host %d still lists the departed node", i)
+			}
+		}
+	}
+}
+
+func TestLiveCrashDetected(t *testing.T) {
+	n := testNetwork(4)
+	defer n.Close()
+	hosts := buildOverlay(t, n, 8)
+	settle(n, time30())
+	victim := hosts[2]
+	victimID := victim.Self().ID
+	victim.Shutdown() // silent crash
+	// Ring probing (30 s virtual) + timeout + multicast.
+	settle(n, 5*des.Minute)
+	for i, h := range hosts {
+		if i == 2 {
+			continue
+		}
+		for _, p := range h.Pointers() {
+			if p.ID == victimID {
+				t.Fatalf("host %d still lists the crashed node", i)
+			}
+		}
+	}
+}
+
+func TestJoinAgainstDeadBootstrapFails(t *testing.T) {
+	n := testNetwork(5)
+	defer n.Close()
+	a := n.Spawn("a", 1e9)
+	a.Bootstrap()
+	dead := a.Self()
+	a.Shutdown()
+	b := n.Spawn("b", 1e9)
+	if err := b.Join(dead); err == nil {
+		t.Fatal("join through a dead bootstrap should fail")
+	}
+}
+
+func TestShutdownIdempotentAndCloseStopsAll(t *testing.T) {
+	n := testNetwork(6)
+	a := n.Spawn("a", 1e9)
+	a.Bootstrap()
+	b := n.Spawn("b", 1e9)
+	if err := b.Join(a.Self()); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	a.Shutdown()
+	a.Shutdown() // no panic, no deadlock
+	n.Close()
+	n.Close()
+}
+
+func TestSpawnAfterClosePanics(t *testing.T) {
+	n := testNetwork(7)
+	n.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Spawn after Close did not panic")
+		}
+	}()
+	n.Spawn("x", 0)
+}
+
+func TestDistinctIdentifiers(t *testing.T) {
+	n := testNetwork(8)
+	defer n.Close()
+	a := n.Spawn("same-name", 0)
+	b := n.Spawn("same-name", 0)
+	if a.Self().ID == b.Self().ID {
+		t.Fatal("equal names must still get distinct identifiers")
+	}
+}

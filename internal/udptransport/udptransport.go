@@ -1,0 +1,339 @@
+// Package udptransport runs a PeerWindow node over real UDP sockets —
+// the deployment form of the protocol. It is the proof of the claim in
+// the README: the core state machine never touches the network, so a
+// socket transport is just another core.Env. Every protocol message is
+// one datagram in the internal/wire encoding (all messages except bulk
+// peer-list responses fit comfortably in a typical MTU; list responses
+// are paginated to stay under the datagram limit).
+//
+// Endpoint addressing: pointers carry real endpoints, packed into
+// wire.Addr as IPv4:port (see wire.AddrFromIPv4), so a pointer received
+// from any peer is immediately routable — exactly the paper's "a pointer
+// consists of the corresponding node's IP address, nodeId, level, and
+// attached info".
+//
+// Timing runs in real time: virtual des.Time maps 1:1 onto wall-clock
+// nanoseconds since the node started. Production deployments use the
+// paper's constants (30 s probes, 3 s ack timeouts); tests scale them
+// down.
+package udptransport
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"peerwindow/internal/core"
+	"peerwindow/internal/des"
+	"peerwindow/internal/nodeid"
+	"peerwindow/internal/wire"
+	"peerwindow/internal/xrand"
+)
+
+// maxDatagram bounds outgoing datagrams; peer-list responses are split
+// into pages that respect it.
+const maxDatagram = 60000
+
+// Node is one UDP-backed PeerWindow participant. Bulk pointer-list
+// responses that exceed a datagram travel over a TCP sidecar bound to
+// the same port number, so no message is ever truncated.
+type Node struct {
+	conn  *net.UDPConn
+	tcp   *net.TCPListener
+	node  *core.Node
+	self  wire.Pointer
+	start time.Time
+
+	inbox chan func()
+	quit  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+
+	rng *xrand.Source
+
+	sent, received, bulkSends uint64
+}
+
+// Listen binds a UDP socket (addr like "127.0.0.1:0") and starts the
+// node's executor and reader. name seeds the identifier; budget is the
+// collection budget in bit/s (0 keeps cfg's default).
+func Listen(addr, name string, budget float64, cfg core.Config) (*Node, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp4", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: %w", err)
+	}
+	conn, err := net.ListenUDP("udp4", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: %w", err)
+	}
+	local := conn.LocalAddr().(*net.UDPAddr)
+	ip4 := local.IP.To4()
+	if ip4 == nil {
+		conn.Close()
+		return nil, fmt.Errorf("udptransport: %v is not IPv4", local.IP)
+	}
+	var ip [4]byte
+	copy(ip[:], ip4)
+	if budget > 0 {
+		cfg.ThresholdBits = budget
+	}
+	n := &Node{
+		conn:  conn,
+		start: time.Now(),
+		inbox: make(chan func(), 1024),
+		quit:  make(chan struct{}),
+		rng:   xrand.New(uint64(local.Port)*2654435761 + 1),
+	}
+	n.self = wire.Pointer{
+		Addr: wire.AddrFromIPv4(ip, uint16(local.Port)),
+		ID:   nodeid.Hash([]byte(fmt.Sprintf("%s@%s", name, local))),
+	}
+	// TCP sidecar on the same port number for bulk responses.
+	tcp, err := net.ListenTCP("tcp4", &net.TCPAddr{IP: local.IP, Port: local.Port})
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("udptransport: tcp sidecar: %w", err)
+	}
+	n.tcp = tcp
+	n.node = core.NewNode(cfg, n, core.Observer{}, n.self)
+	n.wg.Add(3)
+	go n.loop()
+	go n.read()
+	go n.accept()
+	return n, nil
+}
+
+// accept receives bulk messages over the TCP sidecar: a 4-byte
+// big-endian length prefix followed by one wire-encoded message per
+// connection.
+func (n *Node) accept() {
+	defer n.wg.Done()
+	for {
+		c, err := n.tcp.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go func() {
+			defer c.Close()
+			c.SetReadDeadline(time.Now().Add(10 * time.Second))
+			var hdr [4]byte
+			if _, err := io.ReadFull(c, hdr[:]); err != nil {
+				return
+			}
+			size := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+			if size <= 0 || size > 64<<20 {
+				return
+			}
+			buf := make([]byte, size)
+			if _, err := io.ReadFull(c, buf); err != nil {
+				return
+			}
+			msg, err := wire.Unmarshal(buf)
+			if err != nil {
+				return
+			}
+			atomic.AddUint64(&n.received, 1)
+			n.exec(func() { n.node.HandleMessage(msg) })
+		}()
+	}
+}
+
+// loop serializes all node activity.
+func (n *Node) loop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case fn := <-n.inbox:
+			fn()
+		case <-n.quit:
+			return
+		}
+	}
+}
+
+// read pumps datagrams into the executor.
+func (n *Node) read() {
+	defer n.wg.Done()
+	buf := make([]byte, maxDatagram+1)
+	for {
+		nr, _, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		msg, err := wire.Unmarshal(buf[:nr])
+		if err != nil {
+			continue // garbage datagram
+		}
+		atomic.AddUint64(&n.received, 1)
+		n.exec(func() { n.node.HandleMessage(msg) })
+	}
+}
+
+func (n *Node) exec(fn func()) {
+	select {
+	case n.inbox <- fn:
+	case <-n.quit:
+	}
+}
+
+func (n *Node) call(fn func()) {
+	done := make(chan struct{})
+	n.exec(func() {
+		fn()
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-n.quit:
+	}
+}
+
+// Close stops the node without announcement (a crash); use Leave first
+// for a polite departure.
+func (n *Node) Close() {
+	n.once.Do(func() {
+		n.call(func() { n.node.Stop() })
+		close(n.quit)
+		n.conn.Close()
+		n.tcp.Close()
+		n.wg.Wait()
+	})
+}
+
+// Self returns the node's pointer; its Addr routes over UDP.
+func (n *Node) Self() wire.Pointer {
+	var p wire.Pointer
+	n.call(func() { p = n.node.Self() })
+	return p
+}
+
+// Level returns the node's current level.
+func (n *Node) Level() int {
+	var l int
+	n.call(func() { l = n.node.Level() })
+	return l
+}
+
+// Pointers snapshots the peer list.
+func (n *Node) Pointers() []wire.Pointer {
+	var ps []wire.Pointer
+	n.call(func() { ps = n.node.Peers().Pointers() })
+	return ps
+}
+
+// Bootstrap makes this node the first member of a fresh overlay.
+func (n *Node) Bootstrap() { n.call(func() { n.node.Bootstrap() }) }
+
+// Join runs the §4.3 process against a bootstrap pointer and blocks.
+func (n *Node) Join(bootstrap wire.Pointer, timeout time.Duration) error {
+	errc := make(chan error, 1)
+	n.exec(func() { n.node.Join(bootstrap, func(err error) { errc <- err }) })
+	select {
+	case err := <-errc:
+		return err
+	case <-n.quit:
+		return core.ErrJoinFailed
+	case <-time.After(timeout):
+		return fmt.Errorf("udptransport: join timed out: %w", core.ErrJoinFailed)
+	}
+}
+
+// Leave departs politely and closes the socket.
+func (n *Node) Leave() {
+	n.call(func() { n.node.Leave() })
+	n.Close()
+}
+
+// SetInfo announces new attached info (§3).
+func (n *Node) SetInfo(info []byte) { n.call(func() { n.node.SetInfo(info) }) }
+
+// Counters returns datagrams sent and received.
+func (n *Node) Counters() (sent, received uint64) {
+	return atomic.LoadUint64(&n.sent), atomic.LoadUint64(&n.received)
+}
+
+// BulkSends returns how many oversized list responses travelled over
+// the TCP sidecar (see Send).
+func (n *Node) BulkSends() uint64 { return atomic.LoadUint64(&n.bulkSends) }
+
+// --- core.Env -------------------------------------------------------------
+
+// Now implements core.Env: real nanoseconds since start.
+func (n *Node) Now() des.Time { return des.Time(time.Since(n.start)) }
+
+// Rand implements core.Env.
+func (n *Node) Rand() *xrand.Source { return n.rng }
+
+// Send implements core.Env: one datagram per message. Pointer lists too
+// large for a datagram go over the TCP sidecar to the same port number
+// instead (counted in BulkSends) — bulk downloads of 100k-pointer
+// windows are stream transfers, exactly as a production deployment
+// would do them.
+func (n *Node) Send(msg wire.Message) {
+	ip, port := msg.To.IPv4()
+	if len(msg.Pointers) > maxPointersPerDatagram {
+		b := msg.Marshal()
+		go n.sendBulk(b, ip, port)
+		return
+	}
+	b := msg.Marshal()
+	dst := &net.UDPAddr{IP: net.IPv4(ip[0], ip[1], ip[2], ip[3]), Port: int(port)}
+	if _, err := n.conn.WriteToUDP(b, dst); err == nil {
+		atomic.AddUint64(&n.sent, 1)
+	}
+}
+
+// sendBulk ships one length-prefixed message over a short-lived TCP
+// connection.
+func (n *Node) sendBulk(b []byte, ip [4]byte, port uint16) {
+	dst := &net.TCPAddr{IP: net.IPv4(ip[0], ip[1], ip[2], ip[3]), Port: int(port)}
+	c, err := net.DialTCP("tcp4", nil, dst)
+	if err != nil {
+		return
+	}
+	defer c.Close()
+	c.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	hdr := []byte{byte(len(b) >> 24), byte(len(b) >> 16), byte(len(b) >> 8), byte(len(b))}
+	if _, err := c.Write(hdr); err != nil {
+		return
+	}
+	if _, err := c.Write(b); err != nil {
+		return
+	}
+	atomic.AddUint64(&n.bulkSends, 1)
+}
+
+// maxPointersPerDatagram bounds list payloads: ≥26 bytes per bare
+// pointer plus header slack under maxDatagram.
+const maxPointersPerDatagram = (maxDatagram - 64) / 30
+
+// udpTimer adapts time.Timer to core.Timer with the same guard the
+// in-process transport uses.
+type udpTimer struct {
+	state int32
+	t     *time.Timer
+}
+
+func (t *udpTimer) Cancel() bool {
+	if atomic.CompareAndSwapInt32(&t.state, 0, 2) {
+		t.t.Stop()
+		return true
+	}
+	return false
+}
+
+// SetTimer implements core.Env.
+func (n *Node) SetTimer(delay des.Time, fn func()) core.Timer {
+	ut := &udpTimer{}
+	ut.t = time.AfterFunc(time.Duration(delay), func() {
+		n.exec(func() {
+			if atomic.CompareAndSwapInt32(&ut.state, 0, 1) {
+				fn()
+			}
+		})
+	})
+	return ut
+}

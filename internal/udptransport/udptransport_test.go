@@ -1,0 +1,205 @@
+package udptransport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"peerwindow/internal/core"
+	"peerwindow/internal/des"
+	"peerwindow/internal/nodeid"
+	"peerwindow/internal/wire"
+)
+
+// fastConfig scales the paper's constants down so loopback tests finish
+// in seconds while keeping every ratio intact.
+func fastConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.ProbeInterval = 400 * des.Millisecond
+	cfg.ProbeTimeout = 120 * des.Millisecond
+	cfg.AckTimeout = 120 * des.Millisecond
+	cfg.ForwardDelay = 10 * des.Millisecond
+	cfg.ShiftCheckInterval = 1 * des.Second
+	cfg.MeterWindow = 2 * des.Second
+	cfg.RefreshEnabled = false
+	cfg.ReconcileDelay = 500 * des.Millisecond
+	return cfg
+}
+
+func spawnOverlay(t *testing.T, count int) []*Node {
+	t.Helper()
+	cfg := fastConfig()
+	nodes := make([]*Node, 0, count)
+	for i := 0; i < count; i++ {
+		n, err := Listen("127.0.0.1:0", fmt.Sprintf("udp-%d", i), 1e9, cfg)
+		if err != nil {
+			t.Fatalf("listen %d: %v", i, err)
+		}
+		nodes = append(nodes, n)
+		if i == 0 {
+			n.Bootstrap()
+			continue
+		}
+		boot := nodes[i/2].Self()
+		if err := n.Join(boot, 10*time.Second); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+	return nodes
+}
+
+func closeAll(nodes []*Node) {
+	for _, n := range nodes {
+		n.Close()
+	}
+}
+
+func TestUDPOverlayConverges(t *testing.T) {
+	nodes := spawnOverlay(t, 6)
+	defer closeAll(nodes)
+	time.Sleep(800 * time.Millisecond)
+	for i, n := range nodes {
+		if got := len(n.Pointers()); got != len(nodes)-1 {
+			t.Fatalf("node %d sees %d peers, want %d", i, got, len(nodes)-1)
+		}
+	}
+	sent, received := nodes[0].Counters()
+	if sent == 0 || received == 0 {
+		t.Fatal("no datagrams flowed")
+	}
+	if nodes[0].BulkSends() != 0 {
+		t.Fatal("unexpected bulk transfer at this scale")
+	}
+}
+
+func TestUDPInfoChangePropagates(t *testing.T) {
+	nodes := spawnOverlay(t, 5)
+	defer closeAll(nodes)
+	nodes[2].SetInfo([]byte("zone=eu"))
+	time.Sleep(800 * time.Millisecond)
+	subject := nodes[2].Self()
+	for i, n := range nodes {
+		if i == 2 {
+			continue
+		}
+		found := false
+		for _, p := range n.Pointers() {
+			if p.ID == subject.ID && string(p.Info) == "zone=eu" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %d missed the info change over UDP", i)
+		}
+	}
+}
+
+func TestUDPLeavePropagates(t *testing.T) {
+	nodes := spawnOverlay(t, 5)
+	defer closeAll(nodes)
+	leaver := nodes[3]
+	leaverID := leaver.Self().ID
+	leaver.Leave()
+	time.Sleep(time.Second)
+	for i, n := range nodes {
+		if i == 3 {
+			continue
+		}
+		for _, p := range n.Pointers() {
+			if p.ID == leaverID {
+				t.Fatalf("node %d still lists the departed node", i)
+			}
+		}
+	}
+}
+
+func TestUDPCrashDetected(t *testing.T) {
+	nodes := spawnOverlay(t, 5)
+	defer closeAll(nodes)
+	victim := nodes[1]
+	victimID := victim.Self().ID
+	victim.Close() // silent crash
+	// Ring probing: interval 400ms, 3 retries of 120ms, then multicast.
+	time.Sleep(3 * time.Second)
+	for i, n := range nodes {
+		if i == 1 {
+			continue
+		}
+		for _, p := range n.Pointers() {
+			if p.ID == victimID {
+				t.Fatalf("node %d still lists the crashed node", i)
+			}
+		}
+	}
+}
+
+func TestUDPJoinDeadBootstrapFails(t *testing.T) {
+	cfg := fastConfig()
+	a, err := Listen("127.0.0.1:0", "a", 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Bootstrap()
+	dead := a.Self()
+	a.Close()
+	b, err := Listen("127.0.0.1:0", "b", 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Join(dead, 5*time.Second); err == nil {
+		t.Fatal("join through a closed socket should fail")
+	}
+}
+
+func TestUDPCloseIdempotent(t *testing.T) {
+	n, err := Listen("127.0.0.1:0", "solo", 0, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Bootstrap()
+	n.Close()
+	n.Close()
+}
+
+func TestBulkResponsesUseTCPSidecar(t *testing.T) {
+	cfg := fastConfig()
+	a, err := Listen("127.0.0.1:0", "bulk-a", 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen("127.0.0.1:0", "bulk-b", 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.Bootstrap()
+	b.Bootstrap()
+
+	// A response far beyond one datagram.
+	ptrs := make([]wire.Pointer, 3*maxPointersPerDatagram)
+	for i := range ptrs {
+		ptrs[i] = wire.Pointer{
+			Addr: wire.Addr(i + 1),
+			ID:   nodeid.Hash([]byte(fmt.Sprintf("bulk-%d", i))),
+		}
+	}
+	msg := wire.Message{
+		Type: wire.MsgTopListResp, From: a.Self().Addr, To: b.Self().Addr,
+		AckID: 99, Pointers: ptrs,
+	}
+	_, beforeRecv := b.Counters()
+	a.Send(msg)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if a.BulkSends() == 1 {
+			if _, recv := b.Counters(); recv > beforeRecv {
+				return // delivered whole over TCP
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("bulk transfer incomplete: sends=%d", a.BulkSends())
+}

@@ -1,0 +1,461 @@
+// Package peerwindow implements PeerWindow, the efficient, heterogeneous
+// and autonomic node-collection protocol of Hu, Li, Yu, Dong and Zheng
+// (ICPP 2005).
+//
+// Every peer keeps a large "window" of pointers to other peers — each
+// pointer carrying the remote peer's address, 128-bit identifier, level,
+// and a slice of application-attached info — maintained by multicast
+// rather than probing, so that collecting 1000 pointers costs well under
+// 1 kbit/s in a typical deployment. Peers pick how much bandwidth to
+// spend (heterogeneity) and adjust their level — and therefore their
+// window size, about N/2^level pointers — on their own as conditions
+// change (autonomy).
+//
+// The package front-ends the protocol engine in internal/core with an
+// in-process overlay: peers run as goroutines connected by a simulated
+// network with transit-stub latencies. Applications use it the way §3 of
+// the paper sketches — attach info to your pointer, read other peers'
+// windows, and select partners locally:
+//
+//	ov := peerwindow.New(peerwindow.Defaults())
+//	defer ov.Close()
+//	alice, _ := ov.Spawn("alice")
+//	bob, _ := ov.Spawn("bob")
+//	bob.SetInfo([]byte("os=linux"))
+//	...
+//	linuxen := alice.Window().ByInfo(func(b []byte) bool {
+//		return strings.Contains(string(b), "os=linux")
+//	})
+package peerwindow
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"peerwindow/internal/core"
+	"peerwindow/internal/des"
+	"peerwindow/internal/topology"
+	"peerwindow/internal/trace"
+	"peerwindow/internal/transport"
+	"peerwindow/internal/wire"
+	"peerwindow/internal/xrand"
+)
+
+// Options configures an Overlay. Zero value is not usable; start from
+// Defaults.
+type Options struct {
+	// TopListSize is t, the number of top-node pointers each peer keeps
+	// (paper: 8).
+	TopListSize int
+	// ProbeInterval and ProbeTimeout drive ring failure detection.
+	ProbeInterval, ProbeTimeout time.Duration
+	// AckTimeout and RetryAttempts drive multicast reliability (paper: 3
+	// attempts).
+	AckTimeout    time.Duration
+	RetryAttempts int
+	// ForwardDelay is the per-hop processing cost of the multicast.
+	ForwardDelay time.Duration
+	// Budget is the default bandwidth each peer spends on collection
+	// (bit/s); Spawn can override per peer.
+	Budget float64
+	// MaxLevel bounds how weak a peer may become.
+	MaxLevel int
+	// Refresh enables the anti-entropy mechanism of §4.6.
+	Refresh bool
+	// Gossip switches event dissemination from the §4.2 tree to the §2
+	// level-gossip variant — more robust, roughly fanout× the bandwidth.
+	Gossip bool
+	// WarmUp makes joining peers start small and grow in the background
+	// (§4.3).
+	WarmUp bool
+
+	// TransitStub, when true, draws latencies from a generated
+	// transit-stub topology (the paper's network model); otherwise
+	// Latency applies uniformly.
+	TransitStub bool
+	// Latency is the flat one-way latency without TransitStub.
+	Latency time.Duration
+	// Dilation compresses time: virtual seconds per wall second. 1 runs
+	// in real time; 60 runs a virtual minute per second. Demos use high
+	// values; keep AckTimeout/Dilation well above ~5 ms of wall time.
+	Dilation float64
+	// LossRate drops messages with this probability (fault injection).
+	LossRate float64
+	// TraceCapacity, when positive, keeps a ring of the last N network
+	// events (sends, drops, deliveries); dump it with DumpTrace.
+	TraceCapacity int
+	// Seed makes identifier assignment and latencies reproducible.
+	Seed uint64
+}
+
+// Defaults returns the paper-faithful configuration running at 60×
+// compressed time.
+func Defaults() Options {
+	return Options{
+		TopListSize:   8,
+		ProbeInterval: 30 * time.Second,
+		ProbeTimeout:  5 * time.Second,
+		AckTimeout:    3 * time.Second,
+		RetryAttempts: 3,
+		ForwardDelay:  1 * time.Second,
+		Budget:        5000,
+		MaxLevel:      30,
+		Refresh:       true,
+		WarmUp:        false,
+		TransitStub:   false,
+		Latency:       50 * time.Millisecond,
+		Dilation:      60,
+		Seed:          1,
+	}
+}
+
+// toCore translates the public options into the engine configuration.
+func (o Options) toCore() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.TopListSize = o.TopListSize
+	cfg.ProbeInterval = des.Time(o.ProbeInterval)
+	cfg.ProbeTimeout = des.Time(o.ProbeTimeout)
+	cfg.AckTimeout = des.Time(o.AckTimeout)
+	cfg.RetryAttempts = o.RetryAttempts
+	cfg.ForwardDelay = des.Time(o.ForwardDelay)
+	cfg.ThresholdBits = o.Budget
+	cfg.MaxLevel = o.MaxLevel
+	cfg.RefreshEnabled = o.Refresh
+	cfg.GossipMulticast = o.Gossip
+	cfg.WarmUp = o.WarmUp
+	return cfg
+}
+
+// Overlay is an in-process PeerWindow network.
+type Overlay struct {
+	net      *transport.Network
+	dilation float64
+	ring     *trace.Ring
+
+	mu    sync.Mutex
+	peers map[string]*Peer
+	order []*Peer // spawn order, for bootstrap selection
+	rng   *xrand.Source
+}
+
+// New builds an overlay. It panics on invalid options (they are
+// programmer errors, not runtime conditions).
+func New(o Options) *Overlay {
+	var topo *topology.Network
+	rng := xrand.New(o.Seed)
+	if o.TransitStub {
+		topo = topology.Generate(topology.DefaultParams(), rng.Split(1))
+	}
+	var ring *trace.Ring
+	if o.TraceCapacity > 0 {
+		ring = trace.NewRing(o.TraceCapacity)
+	}
+	net := transport.NewNetwork(transport.NetworkConfig{
+		Core:         o.toCore(),
+		Topology:     topo,
+		ConstLatency: des.Time(o.Latency),
+		Dilation:     o.Dilation,
+		LossRate:     o.LossRate,
+		Seed:         o.Seed,
+		Trace:        ring,
+	})
+	dil := o.Dilation
+	if dil < 1 {
+		dil = 1
+	}
+	return &Overlay{
+		net:      net,
+		dilation: dil,
+		ring:     ring,
+		peers:    make(map[string]*Peer),
+		rng:      rng.Split(2),
+	}
+}
+
+// DumpTrace writes the retained network trace (if Options.TraceCapacity
+// was set) to w and returns how many events were ever recorded.
+func (o *Overlay) DumpTrace(w io.Writer) (uint64, error) {
+	if o.ring == nil {
+		return 0, nil
+	}
+	return o.ring.Total(), o.ring.Dump(w)
+}
+
+// Close stops every peer and the overlay.
+func (o *Overlay) Close() { o.net.Close() }
+
+// ErrDuplicateName reports a Spawn with a name already in use.
+var ErrDuplicateName = errors.New("peerwindow: peer name already in use")
+
+// Change notifies a Watcher about one window mutation.
+type Change struct {
+	// Added is true for a new pointer, false for a removal.
+	Added bool
+	// Pointer is the affected entry.
+	Pointer Pointer
+	// Reason classifies removals: "leave", "stale", "expired" or
+	// "shift"; empty for additions.
+	Reason string
+}
+
+// Watcher receives window changes. Calls arrive on the peer's internal
+// executor: return quickly and do not call Peer/Overlay methods from
+// inside (hand work to your own goroutine instead).
+type Watcher func(Change)
+
+// Spawn starts a peer with the overlay's default budget. The first peer
+// bootstraps a fresh overlay; later peers join through a random live
+// peer (the §4.3 process). It blocks until the join completes.
+func (o *Overlay) Spawn(name string) (*Peer, error) {
+	return o.spawn(name, 0, nil)
+}
+
+// SpawnBudget is Spawn with an explicit collection budget in bit/s —
+// the heterogeneity knob.
+func (o *Overlay) SpawnBudget(name string, budget float64) (*Peer, error) {
+	return o.spawn(name, budget, nil)
+}
+
+// SpawnWatched is Spawn with a Watcher for window changes.
+func (o *Overlay) SpawnWatched(name string, budget float64, w Watcher) (*Peer, error) {
+	return o.spawn(name, budget, w)
+}
+
+func (o *Overlay) spawn(name string, budget float64, w Watcher) (*Peer, error) {
+	o.mu.Lock()
+	if _, dup := o.peers[name]; dup {
+		o.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateName, name)
+	}
+	var boot *Peer
+	if len(o.order) > 0 {
+		// Random live bootstrap.
+		alive := make([]*Peer, 0, len(o.order))
+		for _, p := range o.order {
+			if !p.gone {
+				alive = append(alive, p)
+			}
+		}
+		if len(alive) > 0 {
+			boot = alive[o.rng.Intn(len(alive))]
+		}
+	}
+	o.mu.Unlock()
+
+	var obs core.Observer
+	if w != nil {
+		obs = core.Observer{
+			PeerAdded: func(q wire.Pointer) {
+				w(Change{Added: true, Pointer: toPublic(q)})
+			},
+			PeerRemoved: func(q wire.Pointer, reason core.RemoveReason) {
+				w(Change{Pointer: toPublic(q), Reason: reason.String()})
+			},
+		}
+	}
+	h := o.net.SpawnObserved(name, budget, obs)
+	p := &Peer{name: name, host: h, overlay: o}
+	if boot == nil {
+		h.Bootstrap()
+	} else if err := h.Join(boot.host.Self()); err != nil {
+		h.Shutdown()
+		return nil, fmt.Errorf("peerwindow: %q could not join: %w", name, err)
+	}
+	o.mu.Lock()
+	o.peers[name] = p
+	o.order = append(o.order, p)
+	o.mu.Unlock()
+	return p, nil
+}
+
+// Peer returns a spawned peer by name.
+func (o *Overlay) Peer(name string) (*Peer, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	p, ok := o.peers[name]
+	return p, ok
+}
+
+// Peers returns all live peers in spawn order.
+func (o *Overlay) Peers() []*Peer {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]*Peer, 0, len(o.order))
+	for _, p := range o.order {
+		if !p.gone {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Stats reports the overlay's traffic totals: messages and bits offered
+// to the network, losses injected, and the live peer count.
+type Stats struct {
+	Messages uint64
+	Bits     uint64
+	Dropped  uint64
+	Peers    int
+}
+
+// Stats returns a snapshot of the overlay's traffic counters.
+func (o *Overlay) Stats() Stats {
+	s := o.net.Stats()
+	return Stats{Messages: s.Messages, Bits: s.Bits, Dropped: s.Dropped, Peers: s.Hosts}
+}
+
+// Settle sleeps for the given virtual duration — convenience for demos
+// that need multicasts to propagate.
+func (o *Overlay) Settle(virtual time.Duration) {
+	time.Sleep(time.Duration(float64(virtual)/o.dilation) + 5*time.Millisecond)
+}
+
+// Peer is one live PeerWindow participant.
+type Peer struct {
+	name    string
+	host    *transport.Host
+	overlay *Overlay
+	gone    bool
+}
+
+// Name returns the peer's spawn name.
+func (p *Peer) Name() string { return p.name }
+
+// ID returns the peer's 128-bit identifier as 32 hex digits.
+func (p *Peer) ID() string { return p.host.Self().ID.String() }
+
+// Level returns the peer's current level; its window holds about
+// N/2^level pointers.
+func (p *Peer) Level() int { return p.host.Level() }
+
+// InputRate returns the measured maintenance bandwidth in bit/s of
+// virtual time.
+func (p *Peer) InputRate() float64 { return p.host.InputRate() }
+
+// SetInfo attaches application info to the peer's pointer and announces
+// the change to every window holding it (§3). Info must be at most 255
+// bytes — the paper insists pointers stay small.
+func (p *Peer) SetInfo(info []byte) { p.host.SetInfo(info) }
+
+// SetBudget changes the peer's collection budget at runtime (§2
+// autonomy).
+func (p *Peer) SetBudget(bitsPerSec float64) { p.host.SetThreshold(bitsPerSec) }
+
+// Leave departs politely, announcing the leave.
+func (p *Peer) Leave() {
+	p.markGone()
+	p.host.Leave()
+}
+
+// Crash stops the peer silently; ring probing will detect it.
+func (p *Peer) Crash() {
+	p.markGone()
+	p.host.Shutdown()
+}
+
+func (p *Peer) markGone() {
+	p.overlay.mu.Lock()
+	p.gone = true
+	delete(p.overlay.peers, p.name)
+	p.overlay.mu.Unlock()
+}
+
+// Pointer is one entry of a peer's window: a piece of information about
+// another node (§2).
+type Pointer struct {
+	// ID is the node's identifier in hex.
+	ID string
+	// Addr is its (opaque) network address.
+	Addr uint64
+	// Level is the node's announced level; smaller is stronger, and
+	// stronger correlates with longer uptime and more resources (§3).
+	Level int
+	// Info is the application-attached payload.
+	Info []byte
+}
+
+// Window is a snapshot of collected pointers with the §3 selection
+// helpers.
+type Window []Pointer
+
+// toPublic converts a wire pointer into the public form.
+func toPublic(q wire.Pointer) Pointer {
+	return Pointer{
+		ID:    q.ID.String(),
+		Addr:  uint64(q.Addr),
+		Level: int(q.Level),
+		Info:  append([]byte(nil), q.Info...),
+	}
+}
+
+// Window returns the peer's current window snapshot.
+func (p *Peer) Window() Window {
+	ps := p.host.Pointers()
+	out := make(Window, len(ps))
+	for i, q := range ps {
+		out[i] = toPublic(q)
+	}
+	return out
+}
+
+// Filter keeps pointers satisfying pred.
+func (w Window) Filter(pred func(Pointer) bool) Window {
+	out := make(Window, 0, len(w))
+	for _, p := range w {
+		if pred(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ByInfo keeps pointers whose attached info satisfies pred — "directly
+// using the attached info" (§3).
+func (w Window) ByInfo(pred func(info []byte) bool) Window {
+	return w.Filter(func(p Pointer) bool { return pred(p.Info) })
+}
+
+// InfoContains keeps pointers whose info contains the substring — the
+// most common ByInfo shorthand.
+func (w Window) InfoContains(substr string) Window {
+	return w.ByInfo(func(b []byte) bool { return strings.Contains(string(b), substr) })
+}
+
+// Strongest returns up to k pointers with the smallest level values —
+// "looking at the level value for powerful nodes" (§3).
+func (w Window) Strongest(k int) Window {
+	out := append(Window(nil), w...)
+	// Selection by level; stable enough with a simple sort.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Level < out[j-1].Level; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Sample returns up to k uniformly random pointers, reproducible from
+// seed.
+func (w Window) Sample(k int, seed uint64) Window {
+	if k >= len(w) {
+		return append(Window(nil), w...)
+	}
+	rng := xrand.New(seed)
+	idx := rng.Perm(len(w))[:k]
+	out := make(Window, 0, k)
+	for _, i := range idx {
+		out = append(out, w[i])
+	}
+	return out
+}
+
+// MaxInfoLen is the largest attached-info payload a pointer may carry
+// (§3 keeps pointers small so windows stay large).
+const MaxInfoLen = wire.MaxInfoLen

@@ -1,0 +1,286 @@
+package peerwindow
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testOptions runs at 100× with huge budgets so levels stay at 0.
+func testOptions(seed uint64) Options {
+	o := Defaults()
+	o.Dilation = 100
+	o.Budget = 1e9
+	o.Seed = seed
+	return o
+}
+
+func buildPeers(t *testing.T, ov *Overlay, names ...string) []*Peer {
+	t.Helper()
+	out := make([]*Peer, 0, len(names))
+	for _, name := range names {
+		p, err := ov.Spawn(name)
+		if err != nil {
+			t.Fatalf("spawn %q: %v", name, err)
+		}
+		out = append(out, p)
+		ov.Settle(20 * time.Second)
+	}
+	return out
+}
+
+func TestOverlayWindowsConverge(t *testing.T) {
+	ov := New(testOptions(1))
+	defer ov.Close()
+	peers := buildPeers(t, ov, "a", "b", "c", "d", "e", "f")
+	ov.Settle(2 * time.Minute)
+	for _, p := range peers {
+		if got := len(p.Window()); got != len(peers)-1 {
+			t.Fatalf("%s window has %d pointers, want %d", p.Name(), got, len(peers)-1)
+		}
+	}
+}
+
+func TestSpawnDuplicateName(t *testing.T) {
+	ov := New(testOptions(2))
+	defer ov.Close()
+	if _, err := ov.Spawn("dup"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ov.Spawn("dup")
+	if !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("err = %v want ErrDuplicateName", err)
+	}
+}
+
+func TestPeerLookupAndList(t *testing.T) {
+	ov := New(testOptions(3))
+	defer ov.Close()
+	buildPeers(t, ov, "x", "y")
+	if _, ok := ov.Peer("x"); !ok {
+		t.Fatal("Peer(x) not found")
+	}
+	if _, ok := ov.Peer("nope"); ok {
+		t.Fatal("Peer(nope) found")
+	}
+	if got := len(ov.Peers()); got != 2 {
+		t.Fatalf("Peers() = %d", got)
+	}
+	p, _ := ov.Peer("x")
+	p.Crash()
+	if got := len(ov.Peers()); got != 1 {
+		t.Fatalf("Peers() after crash = %d", got)
+	}
+	if _, ok := ov.Peer("x"); ok {
+		t.Fatal("crashed peer still listed")
+	}
+}
+
+func TestInfoSelection(t *testing.T) {
+	ov := New(testOptions(4))
+	defer ov.Close()
+	peers := buildPeers(t, ov, "p1", "p2", "p3", "p4", "p5")
+	peers[1].SetInfo([]byte("os=linux;disk=2T"))
+	peers[2].SetInfo([]byte("os=plan9;disk=1T"))
+	peers[3].SetInfo([]byte("os=linux;disk=500G"))
+	ov.Settle(2 * time.Minute)
+
+	w := peers[0].Window()
+	linux := w.InfoContains("os=linux")
+	if len(linux) != 2 {
+		t.Fatalf("found %d linux peers, want 2", len(linux))
+	}
+	plan9 := w.ByInfo(func(b []byte) bool { return strings.Contains(string(b), "plan9") })
+	if len(plan9) != 1 {
+		t.Fatalf("found %d plan9 peers, want 1", len(plan9))
+	}
+	if got := w.Filter(func(p Pointer) bool { return len(p.Info) == 0 }); len(got) != 1 {
+		t.Fatalf("peers without info = %d, want 1", len(got))
+	}
+}
+
+func TestWindowHelpers(t *testing.T) {
+	w := Window{
+		{ID: "a", Level: 3},
+		{ID: "b", Level: 0},
+		{ID: "c", Level: 1},
+		{ID: "d", Level: 0},
+	}
+	s := w.Strongest(2)
+	if len(s) != 2 || s[0].Level != 0 || s[1].Level != 0 {
+		t.Fatalf("Strongest(2) = %+v", s)
+	}
+	if got := w.Strongest(10); len(got) != 4 {
+		t.Fatalf("Strongest(10) should return all: %d", len(got))
+	}
+	sample := w.Sample(2, 7)
+	if len(sample) != 2 {
+		t.Fatalf("Sample(2) = %d", len(sample))
+	}
+	if got := w.Sample(99, 7); len(got) != 4 {
+		t.Fatalf("Sample(99) should return all: %d", len(got))
+	}
+	// Deterministic under equal seeds.
+	a := w.Sample(2, 9)
+	b := w.Sample(2, 9)
+	if a[0].ID != b[0].ID || a[1].ID != b[1].ID {
+		t.Fatal("Sample not deterministic")
+	}
+}
+
+func TestLeaveRemovesFromWindows(t *testing.T) {
+	ov := New(testOptions(5))
+	defer ov.Close()
+	peers := buildPeers(t, ov, "m1", "m2", "m3", "m4")
+	leaverID := peers[2].ID()
+	peers[2].Leave()
+	ov.Settle(2 * time.Minute)
+	for _, p := range ov.Peers() {
+		for _, q := range p.Window() {
+			if q.ID == leaverID {
+				t.Fatalf("%s still lists the departed peer", p.Name())
+			}
+		}
+	}
+}
+
+func TestDefaultsAreUsable(t *testing.T) {
+	o := Defaults()
+	if o.Budget <= 0 || o.Dilation <= 0 || o.TopListSize <= 0 {
+		t.Fatal("defaults incomplete")
+	}
+	// toCore must produce a valid engine configuration.
+	if err := o.toCore().Validate(); err != nil {
+		t.Fatalf("defaults do not validate: %v", err)
+	}
+}
+
+func TestMaxInfoLenExported(t *testing.T) {
+	if MaxInfoLen != 255 {
+		t.Fatalf("MaxInfoLen = %d", MaxInfoLen)
+	}
+}
+
+func TestOverlayStats(t *testing.T) {
+	ov := New(testOptions(6))
+	defer ov.Close()
+	buildPeers(t, ov, "s1", "s2", "s3")
+	ov.Settle(time.Minute)
+	s := ov.Stats()
+	if s.Messages == 0 || s.Bits == 0 {
+		t.Fatalf("no traffic recorded: %+v", s)
+	}
+	if s.Peers != 3 {
+		t.Fatalf("Peers = %d", s.Peers)
+	}
+	if s.Dropped != 0 {
+		t.Fatalf("unexpected drops without loss injection: %d", s.Dropped)
+	}
+}
+
+func TestOverlayLossInjection(t *testing.T) {
+	o := testOptions(7)
+	o.LossRate = 0.2
+	ov := New(o)
+	defer ov.Close()
+	// With 20% loss individual joins may legitimately exhaust their
+	// retries; keep trying fresh names until three peers are up.
+	names := []string{"l1", "l2", "l3", "l4", "l5", "l6", "l7", "l8"}
+	up := 0
+	for _, name := range names {
+		if _, err := ov.Spawn(name); err == nil {
+			up++
+			ov.Settle(20 * time.Second)
+		}
+		if up == 3 {
+			break
+		}
+	}
+	if up < 3 {
+		t.Fatalf("only %d/3 peers joined under 20%% loss", up)
+	}
+	ov.Settle(time.Minute)
+	if ov.Stats().Dropped == 0 {
+		t.Fatal("loss injection inactive")
+	}
+}
+
+func TestOverlayTrace(t *testing.T) {
+	o := testOptions(8)
+	o.TraceCapacity = 256
+	ov := New(o)
+	defer ov.Close()
+	buildPeers(t, ov, "t1", "t2", "t3")
+	ov.Settle(time.Minute)
+	var buf bytes.Buffer
+	total, err := ov.DumpTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("trace recorded nothing")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "send") || !strings.Contains(out, "deliver") {
+		t.Fatalf("trace missing kinds:\n%s", out[:min(400, len(out))])
+	}
+	// Without a capacity the dump is a silent no-op.
+	ov2 := New(testOptions(9))
+	defer ov2.Close()
+	if n, err := ov2.DumpTrace(&buf); n != 0 || err != nil {
+		t.Fatal("trace should be disabled by default")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestSpawnWatchedSeesChanges(t *testing.T) {
+	ov := New(testOptions(10))
+	defer ov.Close()
+	var mu sync.Mutex
+	var changes []Change
+	watcher := func(c Change) {
+		mu.Lock()
+		changes = append(changes, c)
+		mu.Unlock()
+	}
+	if _, err := ov.SpawnWatched("watcher", 0, watcher); err != nil {
+		t.Fatal(err)
+	}
+	ov.Settle(20 * time.Second)
+	buildPeers(t, ov, "w1", "w2")
+	ov.Settle(time.Minute)
+	p, _ := ov.Peer("w2")
+	goneID := p.ID()
+	p.Leave()
+	ov.Settle(2 * time.Minute)
+
+	mu.Lock()
+	defer mu.Unlock()
+	var adds, removes int
+	removeSeen := false
+	for _, c := range changes {
+		if c.Added {
+			adds++
+		} else {
+			removes++
+			if c.Pointer.ID == goneID && c.Reason == "leave" {
+				removeSeen = true
+			}
+		}
+	}
+	if adds < 2 {
+		t.Fatalf("watcher saw %d additions, want >= 2", adds)
+	}
+	if !removeSeen {
+		t.Fatalf("watcher missed the leave removal: %+v", changes)
+	}
+}
