@@ -143,15 +143,7 @@ func (n *Node) joinStep3(top wire.Pointer, done func(error)) {
 	msg := wire.Message{Type: wire.MsgPeerListReq, To: top.Addr, Sender: n.self}
 	n.sendReliable(msg, n.cfg.RetryAttempts,
 		func(resp wire.Message) {
-			now := n.env.Now()
-			for _, p := range resp.Pointers {
-				if p.ID == n.self.ID {
-					continue
-				}
-				if n.peers.Upsert(p, now) && n.obs.PeerAdded != nil {
-					n.obs.PeerAdded(p)
-				}
-			}
+			n.applyPointers(resp.Pointers, true)
 			// Fetch the top-node list as well.
 			tl := wire.Message{Type: wire.MsgTopListReq, To: top.Addr}
 			n.sendReliable(tl, n.cfg.RetryAttempts,
@@ -222,20 +214,13 @@ func (n *Node) reconcile() {
 			if n.stopped {
 				return
 			}
-			now := n.env.Now()
 			inResp := make(map[nodeid.ID]bool, len(resp.Pointers))
 			for _, p := range resp.Pointers {
-				if p.ID == n.self.ID {
-					continue
-				}
-				inResp[p.ID] = true
-				if !n.eigen.Contains(p.ID) {
-					continue
-				}
-				if n.peers.Upsert(p, now) && n.obs.PeerAdded != nil {
-					n.obs.PeerAdded(p)
+				if p.ID != n.self.ID {
+					inResp[p.ID] = true
 				}
 			}
+			n.applyPointers(resp.Pointers, true)
 			// Entries the donor lacks and that predate our request are
 			// stale copies from the join snapshot.
 			var drop []nodeid.ID
@@ -378,17 +363,9 @@ func (n *Node) raiseLevel(done func(ok bool)) {
 				}
 				return
 			}
-			now := n.env.Now()
-			n.lastShift = now
+			n.lastShift = n.env.Now()
 			n.setLevel(newLevel)
-			for _, p := range resp.Pointers {
-				if p.ID == n.self.ID {
-					continue
-				}
-				if n.peers.Upsert(p, now) && n.obs.PeerAdded != nil {
-					n.obs.PeerAdded(p)
-				}
-			}
+			n.applyPointers(resp.Pointers, true)
 			if n.obs.LevelChanged != nil {
 				n.obs.LevelChanged(old, newLevel)
 			}

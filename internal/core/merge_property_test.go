@@ -1,0 +1,212 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"peerwindow/internal/des"
+	"peerwindow/internal/nodeid"
+	"peerwindow/internal/wire"
+	"peerwindow/internal/xrand"
+)
+
+// Property tests for the PR 1 bulk-merge path: MergeSorted must be
+// observationally identical to applying the same batch through repeated
+// Upsert — entries, order, levels histogram, firstSeen/lastSeen — on
+// random batches including empty, disjoint, fully-overlapping, and
+// duplicate-carrying ones.
+
+// randomPointer draws a pointer from a small ID universe so batches
+// overlap held entries frequently.
+func randomPointer(rng *xrand.Source, universe []nodeid.ID) wire.Pointer {
+	id := universe[rng.Intn(len(universe))]
+	return wire.Pointer{
+		Addr:  wire.Addr(1 + id.Lo%1000),
+		ID:    id,
+		Level: uint8(rng.Intn(7)),
+	}
+}
+
+// assertEqualLists fails unless the two lists agree on every observable:
+// entry sequence, pointer payloads, timestamps, histogram, and the
+// Strongest/MinLevel answers.
+func assertEqualLists(t *testing.T, got, want *PeerList, round int) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("round %d: Len %d != %d", round, got.Len(), want.Len())
+	}
+	for i := range want.entries {
+		g, w := &got.entries[i], &want.entries[i]
+		if !g.ptr.Equal(w.ptr) {
+			t.Fatalf("round %d entry %d: ptr %+v != %+v", round, i, g.ptr, w.ptr)
+		}
+		if g.firstSeen != w.firstSeen || g.lastSeen != w.lastSeen {
+			t.Fatalf("round %d entry %d (%v): seen (%v,%v) != (%v,%v)",
+				round, i, w.ptr.ID, g.firstSeen, g.lastSeen, w.firstSeen, w.lastSeen)
+		}
+	}
+	if got.levels != want.levels {
+		t.Fatalf("round %d: levels histogram diverged\n got %v\nwant %v",
+			round, got.levels, want.levels)
+	}
+	gs, gok := got.Strongest()
+	ws, wok := want.Strongest()
+	if gok != wok || (gok && !gs.Equal(ws)) {
+		t.Fatalf("round %d: Strongest (%+v,%v) != (%+v,%v)", round, gs, gok, ws, wok)
+	}
+	if got.MinLevel() != want.MinLevel() {
+		t.Fatalf("round %d: MinLevel %d != %d", round, got.MinLevel(), want.MinLevel())
+	}
+}
+
+func TestMergeSortedEquivalentToUpsert(t *testing.T) {
+	rng := xrand.New(99)
+	for round := 0; round < 300; round++ {
+		universe := make([]nodeid.ID, 40+rng.Intn(160))
+		for i := range universe {
+			universe[i] = nodeid.ID{Hi: rng.Uint64(), Lo: rng.Uint64()}
+		}
+		var merged, upserted PeerList
+		baseN := rng.Intn(100)
+		for i := 0; i < baseN; i++ {
+			p := randomPointer(rng, universe)
+			at := des.Time(1 + rng.Intn(50))
+			merged.Upsert(p, at)
+			upserted.Upsert(p, at)
+		}
+		// Batch sizes 0, 1 and larger all occur; ~1 in 8 batches carries
+		// a duplicate ID to exercise the fallback.
+		batch := make([]wire.Pointer, rng.Intn(60))
+		for i := range batch {
+			batch[i] = randomPointer(rng, universe)
+		}
+		sort.SliceStable(batch, func(i, j int) bool { return batch[i].ID.Less(batch[j].ID) })
+		now := des.Time(100 + round)
+
+		addedUpsert := 0
+		for _, p := range batch {
+			if upserted.Upsert(p, now) {
+				addedUpsert++
+			}
+		}
+		var notified []wire.Pointer
+		addedMerge := merged.MergeSorted(batch, now, func(p wire.Pointer) {
+			notified = append(notified, p)
+		})
+
+		if addedMerge != addedUpsert {
+			t.Fatalf("round %d: MergeSorted added %d, Upsert added %d",
+				round, addedMerge, addedUpsert)
+		}
+		if len(notified) != addedMerge {
+			t.Fatalf("round %d: onNew fired %d times for %d additions",
+				round, len(notified), addedMerge)
+		}
+		assertEqualLists(t, &merged, &upserted, round)
+	}
+}
+
+func TestMergeSortedEmptyAndDisjointBatches(t *testing.T) {
+	rng := xrand.New(5)
+	base := benchSortedPointers(50, 4, rng)
+	var pl PeerList
+	for _, p := range base {
+		pl.Upsert(p, 1)
+	}
+	if got := pl.MergeSorted(nil, 2, nil); got != 0 {
+		t.Fatalf("empty batch added %d", got)
+	}
+	if pl.Len() != 50 {
+		t.Fatalf("empty batch changed Len to %d", pl.Len())
+	}
+	// A fully-overlapping batch must add nothing and refresh lastSeen
+	// while preserving firstSeen.
+	if got := pl.MergeSorted(base, 9, nil); got != 0 {
+		t.Fatalf("overlapping batch added %d", got)
+	}
+	pl.ForEach(func(p wire.Pointer, firstSeen, lastSeen des.Time) {
+		if firstSeen != 1 || lastSeen != 9 {
+			t.Fatalf("overlap merge: seen (%v,%v) want (1,9)", firstSeen, lastSeen)
+		}
+	})
+	// A disjoint batch must add all of its members.
+	fresh := benchSortedPointers(30, 4, rng)
+	disjoint := fresh[:0]
+	for _, p := range fresh {
+		if _, held := pl.Lookup(p.ID); !held {
+			disjoint = append(disjoint, p)
+		}
+	}
+	if got := pl.MergeSorted(disjoint, 12, nil); got != len(disjoint) {
+		t.Fatalf("disjoint batch added %d want %d", got, len(disjoint))
+	}
+	if pl.Len() != 50+len(disjoint) {
+		t.Fatalf("Len = %d want %d", pl.Len(), 50+len(disjoint))
+	}
+}
+
+// naiveStrongest is the seed implementation: full scan for the first
+// entry at the minimum level.
+func naiveStrongest(pl *PeerList) (wire.Pointer, bool) {
+	min := -1
+	for l := range pl.levels {
+		if pl.levels[l] > 0 {
+			min = l
+			break
+		}
+	}
+	if min < 0 {
+		return wire.Pointer{}, false
+	}
+	for i := range pl.entries {
+		if int(pl.entries[i].ptr.Level) == min {
+			return pl.entries[i].ptr, true
+		}
+	}
+	return wire.Pointer{}, false
+}
+
+func TestStrongestAgreesWithNaiveScan(t *testing.T) {
+	rng := xrand.New(17)
+	universe := make([]nodeid.ID, 120)
+	for i := range universe {
+		universe[i] = nodeid.ID{Hi: rng.Uint64(), Lo: rng.Uint64()}
+	}
+	var pl PeerList
+	check := func(op string, step int) {
+		t.Helper()
+		got, gok := pl.Strongest()
+		want, wok := naiveStrongest(&pl)
+		if gok != wok || (gok && !got.Equal(want)) {
+			t.Fatalf("step %d after %s: Strongest (%+v,%v) != naive (%+v,%v)",
+				step, op, got, gok, want, wok)
+		}
+	}
+	check("init", -1)
+	for step := 0; step < 4000; step++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // upsert (insert or relevel)
+			pl.Upsert(randomPointer(rng, universe), des.Time(step))
+			check("upsert", step)
+		case 5, 6, 7: // remove
+			if pl.Len() > 0 {
+				pl.Remove(pl.At(rng.Intn(pl.Len())).ID)
+				check("remove", step)
+			}
+		case 8: // bulk merge
+			batch := make([]wire.Pointer, rng.Intn(20))
+			for i := range batch {
+				batch[i] = randomPointer(rng, universe)
+			}
+			sort.SliceStable(batch, func(i, j int) bool { return batch[i].ID.Less(batch[j].ID) })
+			pl.MergeSorted(batch, des.Time(step), nil)
+			check("merge", step)
+		case 9: // shed a prefix, as level lowering does
+			if pl.Len() > 0 {
+				anchor := pl.At(rng.Intn(pl.Len())).ID
+				pl.DropOutsidePrefix(nodeid.EigenstringOf(anchor, rng.Intn(3)))
+				check("drop", step)
+			}
+		}
+	}
+}

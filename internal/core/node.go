@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"peerwindow/internal/des"
 	"peerwindow/internal/metrics"
@@ -199,14 +200,9 @@ func (n *Node) Restore(level int, peers, tops []wire.Pointer) {
 		panic(fmt.Sprintf("core: Restore level %d out of range", level))
 	}
 	n.setLevel(level)
-	now := n.env.Now()
-	for _, p := range peers {
-		if p.ID != n.self.ID && n.eigen.Contains(p.ID) {
-			n.peers.Upsert(p, now)
-		}
-	}
+	n.applyPointers(peers, false)
 	n.mergeTopPointers(tops)
-	if s := uint64(now); s > n.seq {
+	if s := uint64(n.env.Now()); s > n.seq {
 		n.seq = s
 	}
 	n.joined = true
@@ -452,6 +448,37 @@ func (n *Node) mergeTopPointers(ps []wire.Pointer) {
 		}
 	}
 	n.topList = merged
+}
+
+// applyPointers folds a downloaded pointer batch — a peer-list reply
+// from join step 3, level raising, reconcile, or a Restore snapshot —
+// into the peer list through the bulk-merge path: filter (never hold our
+// own pointer or one outside our responsibility region), sort, and
+// MergeSorted in one O(N+M) pass instead of M O(N) Upserts. notify says
+// whether Observer.PeerAdded fires for the new entries. It returns the
+// number of pointers added.
+func (n *Node) applyPointers(ps []wire.Pointer, notify bool) int {
+	if len(ps) == 0 {
+		return 0
+	}
+	batch := make([]wire.Pointer, 0, len(ps))
+	for _, p := range ps {
+		if p.ID != n.self.ID && n.eigen.Contains(p.ID) {
+			batch = append(batch, p)
+		}
+	}
+	if len(batch) == 0 {
+		return 0
+	}
+	// Stable sort so a (malformed) batch repeating an ID keeps its last
+	// occurrence winning, as repeated Upsert would; MergeSorted detects
+	// the duplicate and falls back to exactly that.
+	sort.SliceStable(batch, func(i, j int) bool { return batch[i].ID.Less(batch[j].ID) })
+	var onNew func(wire.Pointer)
+	if notify && n.obs.PeerAdded != nil {
+		onNew = n.obs.PeerAdded
+	}
+	return n.peers.MergeSorted(batch, n.env.Now(), onNew)
 }
 
 // pruneDedup bounds the seen/dead bookkeeping: entries for subjects that

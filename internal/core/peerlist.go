@@ -26,6 +26,81 @@ type PeerList struct {
 	// levels counts entries per level so MinLevel — the "is there anyone
 	// stronger than me" question behind top-node checks — is O(1).
 	levels [nodeid.Bits + 1]int32
+	// firstAt[l] is the index of the first entry (in ID order) at level
+	// l. It is meaningful only while levels[l] > 0, so the zero PeerList
+	// needs no initialization. It makes Strongest — asked on every
+	// report and escalation — O(1) instead of a full-list scan.
+	firstAt [nodeid.Bits + 1]int32
+}
+
+// indexInsert updates the per-level first-index bookkeeping for an entry
+// of the given level inserted at position i. Called after the slice
+// insertion but before the levels histogram is bumped.
+func (pl *PeerList) indexInsert(i int, level uint8) {
+	for l := range pl.firstAt {
+		if pl.levels[l] > 0 && pl.firstAt[l] >= int32(i) {
+			pl.firstAt[l]++
+		}
+	}
+	if pl.levels[level] == 0 || pl.firstAt[level] > int32(i) {
+		pl.firstAt[level] = int32(i)
+	}
+	pl.levels[level]++
+}
+
+// indexRemove updates the bookkeeping for an entry of the given level
+// removed from position i. Called after the slice deletion.
+func (pl *PeerList) indexRemove(i int, level uint8) {
+	pl.levels[level]--
+	rescan := pl.levels[level] > 0 && pl.firstAt[level] == int32(i)
+	for l := range pl.firstAt {
+		if pl.levels[l] > 0 && pl.firstAt[l] > int32(i) {
+			pl.firstAt[l]--
+		}
+	}
+	if rescan {
+		// The removed entry was the first of its level; the next one (if
+		// any) can only sit at or after the removal point.
+		for j := i; j < len(pl.entries); j++ {
+			if pl.entries[j].ptr.Level == level {
+				pl.firstAt[level] = int32(j)
+				break
+			}
+		}
+	}
+}
+
+// indexRelevel updates the bookkeeping when the entry at position i
+// changes level in place (its ID, and hence its position, is unchanged).
+func (pl *PeerList) indexRelevel(i int, old, new uint8) {
+	if old == new {
+		return
+	}
+	pl.levels[old]--
+	if pl.levels[old] > 0 && pl.firstAt[old] == int32(i) {
+		for j := i + 1; j < len(pl.entries); j++ {
+			if pl.entries[j].ptr.Level == old {
+				pl.firstAt[old] = int32(j)
+				break
+			}
+		}
+	}
+	if pl.levels[new] == 0 || pl.firstAt[new] > int32(i) {
+		pl.firstAt[new] = int32(i)
+	}
+	pl.levels[new]++
+}
+
+// rebuildLevelIndex recomputes levels and firstAt from the entries in
+// one pass; the bulk operations (MergeSorted, DropOutsidePrefix) use it
+// instead of per-entry maintenance.
+func (pl *PeerList) rebuildLevelIndex() {
+	pl.levels = [nodeid.Bits + 1]int32{}
+	for i := len(pl.entries) - 1; i >= 0; i-- {
+		l := pl.entries[i].ptr.Level
+		pl.levels[l]++
+		pl.firstAt[l] = int32(i)
+	}
 }
 
 // Len returns the number of pointers held.
@@ -53,17 +128,111 @@ func (pl *PeerList) Lookup(id nodeid.ID) (wire.Pointer, bool) {
 func (pl *PeerList) Upsert(p wire.Pointer, now des.Time) bool {
 	i := pl.search(p.ID)
 	if i < len(pl.entries) && pl.entries[i].ptr.ID == p.ID {
-		pl.levels[pl.entries[i].ptr.Level]--
-		pl.levels[p.Level]++
+		old := pl.entries[i].ptr.Level
 		pl.entries[i].ptr = p
 		pl.entries[i].lastSeen = now
+		pl.indexRelevel(i, old, p.Level)
 		return false
 	}
 	pl.entries = append(pl.entries, peerEntry{})
 	copy(pl.entries[i+1:], pl.entries[i:])
 	pl.entries[i] = peerEntry{ptr: p, firstSeen: now, lastSeen: now}
-	pl.levels[p.Level]++
+	pl.indexInsert(i, p.Level)
 	return true
+}
+
+// MergeSorted merges ps — pointers in strictly ascending ID order — into
+// the list in one O(N+M) pass, against the O(N·M) of per-entry Upsert.
+// It is the application path for peer-list downloads (join step 3, level
+// raising, reconcile, Restore), whose batches arrive already sorted.
+// Existing entries are updated in place, preserving firstSeen and
+// refreshing lastSeen, exactly as Upsert would; the levels histogram and
+// level index stay consistent. onNew, if not nil, is called once per
+// newly inserted pointer, in ascending ID order, after the whole merge
+// completes (the list is safe to read from the callback). It returns
+// the number of new entries. A batch that is not strictly sorted falls
+// back to per-entry Upsert, so callers feeding network-supplied batches
+// keep Upsert semantics in the worst case rather than corrupting the
+// list.
+func (pl *PeerList) MergeSorted(ps []wire.Pointer, now des.Time, onNew func(wire.Pointer)) int {
+	if len(ps) == 0 {
+		return 0
+	}
+	for k := 1; k < len(ps); k++ {
+		if !ps[k-1].ID.Less(ps[k].ID) {
+			added := 0
+			for _, p := range ps {
+				if pl.Upsert(p, now) {
+					added++
+					if onNew != nil {
+						onNew(p)
+					}
+				}
+			}
+			return added
+		}
+	}
+	n := len(pl.entries)
+	// Pass 1: count the IDs not already held, two-pointer over both
+	// sorted sequences.
+	i, newCount := 0, 0
+	for j := range ps {
+		for i < n && pl.entries[i].ptr.ID.Less(ps[j].ID) {
+			i++
+		}
+		if i >= n || pl.entries[i].ptr.ID != ps[j].ID {
+			newCount++
+		}
+	}
+	var added []wire.Pointer
+	if onNew != nil && newCount > 0 {
+		added = make([]wire.Pointer, 0, newCount)
+	}
+	if newCount == 0 {
+		// Updates only: second two-pointer pass, no entry moves.
+		i = 0
+		for j := range ps {
+			for pl.entries[i].ptr.ID.Less(ps[j].ID) {
+				i++
+			}
+			old := pl.entries[i].ptr.Level
+			pl.entries[i].ptr = ps[j]
+			pl.entries[i].lastSeen = now
+			pl.indexRelevel(i, old, ps[j].Level)
+		}
+		return 0
+	}
+	// Pass 2: grow once and merge backwards so existing entries shift at
+	// most one position past each insertion — no per-insert O(N) copy.
+	pl.entries = append(pl.entries, make([]peerEntry, newCount)...)
+	w := n + newCount - 1
+	i = n - 1
+	for j := len(ps) - 1; j >= 0; {
+		switch {
+		case i >= 0 && ps[j].ID.Less(pl.entries[i].ptr.ID):
+			pl.entries[w] = pl.entries[i]
+			i--
+		case i >= 0 && pl.entries[i].ptr.ID == ps[j].ID:
+			e := pl.entries[i]
+			e.ptr = ps[j]
+			e.lastSeen = now
+			pl.entries[w] = e
+			i--
+			j--
+		default:
+			pl.entries[w] = peerEntry{ptr: ps[j], firstSeen: now, lastSeen: now}
+			if added != nil {
+				added = append(added, ps[j])
+			}
+			j--
+		}
+		w--
+	}
+	pl.rebuildLevelIndex()
+	for k := len(added) - 1; k >= 0; k-- {
+		onNew(added[k])
+	}
+	return newCount
 }
 
 // MinLevel returns the smallest level among held pointers, or -1 when the
@@ -79,18 +248,13 @@ func (pl *PeerList) MinLevel() int {
 }
 
 // Strongest returns the first pointer (in ID order) at the minimum level,
-// if any.
+// if any. The level index answers in O(levels) without scanning entries.
 func (pl *PeerList) Strongest() (wire.Pointer, bool) {
 	min := pl.MinLevel()
 	if min < 0 {
 		return wire.Pointer{}, false
 	}
-	for i := range pl.entries {
-		if int(pl.entries[i].ptr.Level) == min {
-			return pl.entries[i].ptr, true
-		}
-	}
-	return wire.Pointer{}, false
+	return pl.entries[pl.firstAt[min]].ptr, true
 }
 
 // Touch updates lastSeen for id, reporting whether it was present.
@@ -112,7 +276,7 @@ func (pl *PeerList) Remove(id nodeid.ID) (peerEntry, bool) {
 	e := pl.entries[i]
 	copy(pl.entries[i:], pl.entries[i+1:])
 	pl.entries = pl.entries[:len(pl.entries)-1]
-	pl.levels[e.ptr.Level]--
+	pl.indexRemove(i, e.ptr.Level)
 	return e, true
 }
 
@@ -203,9 +367,7 @@ func (pl *PeerList) DropOutsidePrefix(e nodeid.Eigenstring) []peerEntry {
 	kept := pl.entries[:0]
 	kept = append(kept, pl.entries[lo:hi]...)
 	pl.entries = kept
-	for i := range dropped {
-		pl.levels[dropped[i].ptr.Level]--
-	}
+	pl.rebuildLevelIndex()
 	return dropped
 }
 

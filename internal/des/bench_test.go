@@ -1,0 +1,79 @@
+package des
+
+import "testing"
+
+// The engine microbenchmarks isolate the two scheduler hot paths that
+// bound every figure regeneration: raw schedule+fire throughput, and the
+// cancel/reschedule churn that ring probing (§4.1) produces — every
+// heartbeat cancels the pending probe timer and arms a new one, so a
+// long run is dominated by cancelled timers, not fired ones.
+//
+// Run with:
+//
+//	go test -bench 'Engine' -benchmem ./internal/des
+//
+// BENCH_PR1.json records the before/after numbers for the PR 1 scheduler
+// overhaul (container/heap of *event → index-based 4-ary min-heap over a
+// value-type event slab with free-list reuse).
+
+// BenchmarkEngineSchedule measures schedule+fire throughput: each op
+// schedules one event; the queue is drained every 1024 ops so the heap
+// stays at a realistic working size and every event both pushes and
+// pops.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%1000)*Microsecond, fn)
+		if i&1023 == 1023 {
+			e.RunUntilIdle(2048)
+		}
+	}
+	e.RunUntilIdle(uint64(b.N) + 1)
+}
+
+// BenchmarkEngineCancelChurn reproduces the probe-rescheduling pattern:
+// a window of outstanding timers where each op cancels the oldest timer
+// well before it fires and arms a replacement further out, while the
+// clock advances and skims the corpses. Steady state is ~1024 live and
+// ~1024 dead events; the metric of interest is ns/op and allocs/op —
+// the seed implementation pays one heap allocation per rescheduled
+// timer and sifts through pointer indirections.
+func BenchmarkEngineCancelChurn(b *testing.B) {
+	const outstanding = 1024
+	e := New()
+	fn := func() {}
+	handles := make([]Handle, outstanding)
+	for i := range handles {
+		handles[i] = e.After(Time(2*outstanding+i)*Millisecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % outstanding
+		handles[k].Cancel()
+		handles[k] = e.After(2*outstanding*Millisecond, fn)
+		e.Run(e.Now() + Millisecond)
+	}
+}
+
+// BenchmarkEnginePending measures the live-event count query, which sim
+// invariant checks and test assertions call inside loops: O(heap) in the
+// seed, O(1) with the maintained counter.
+func BenchmarkEnginePending(b *testing.B) {
+	e := New()
+	fn := func() {}
+	for i := 0; i < 4096; i++ {
+		e.After(Time(i+1)*Millisecond, fn)
+	}
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n += e.Pending()
+	}
+	if n == 0 {
+		b.Fatal("pending count vanished")
+	}
+}

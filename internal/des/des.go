@@ -9,10 +9,20 @@
 // independent runs (parameter points, seeds, replicas) via RunParallel —
 // mirroring how ONSP distributed independent work across its 16-server
 // cluster without changing any single run's semantics.
+//
+// The scheduler is built for throughput: events live in a value-type
+// slab indexed by a 4-ary min-heap of slot numbers, with a free list
+// recycling slots, so steady-state scheduling performs no allocation.
+// Handles carry a (slot, generation) pair, keeping Cancel O(1) and
+// making a handle to a recycled slot inert. Cancellation is lazy — a
+// cancelled event stays queued until popped — but when dead events
+// outnumber live ones past a threshold the heap is compacted in one
+// O(n) pass, so workloads that cancel and rearm timers constantly (ring
+// probing reschedules on every heartbeat, §4.1) cannot accumulate an
+// unbounded backlog of corpses.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"runtime"
@@ -49,64 +59,69 @@ func (t Time) String() string { return t.Duration().String() }
 // FromSeconds builds a virtual instant from floating-point seconds.
 func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 
-// event is a scheduled callback. Cancellation is a flag rather than heap
-// removal: cancelled events stay in the heap and are skipped on pop,
-// which keeps Cancel O(1).
+// event is one slab slot. A slot is in exactly one of three states:
+// queued live (fn != nil, referenced by the heap), queued dead
+// (cancelled: fn == nil, still referenced by the heap until popped or
+// compacted), or free (fn == nil, on the free list). gen increments
+// every time the slot is released, so stale handles cannot act on a
+// successor event that recycled the slot.
 type event struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	cancelled bool
+	at  Time
+	seq uint64
+	fn  func()
+	gen uint32
 }
 
-// eventHeap orders events by (time, seq); seq breaks ties in scheduling
-// order, which makes the loop deterministic.
-type eventHeap []*event
+// compactMinDead is the floor below which compaction is never
+// triggered; tiny queues are cheaper to skim lazily.
+const compactMinDead = 256
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// Handle refers to a scheduled event and allows cancelling it. The zero
+// Handle is valid and refers to nothing.
+type Handle struct {
+	e    *Engine
+	slot int32
+	gen  uint32
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
-
-// Handle refers to a scheduled event and allows cancelling it.
-type Handle struct{ ev *event }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op. It reports whether the event was
 // still pending.
 func (h Handle) Cancel() bool {
-	if h.ev == nil || h.ev.cancelled || h.ev.fn == nil {
+	if h.e == nil {
 		return false
 	}
-	h.ev.cancelled = true
-	h.ev.fn = nil // release the closure promptly
+	ev := &h.e.slab[h.slot]
+	if ev.gen != h.gen || ev.fn == nil {
+		return false
+	}
+	ev.fn = nil // release the closure promptly; the corpse stays queued
+	h.e.live--
+	h.e.cancelled++
+	h.e.maybeCompact()
 	return true
 }
 
 // Pending reports whether the event is still scheduled to fire.
 func (h Handle) Pending() bool {
-	return h.ev != nil && !h.ev.cancelled && h.ev.fn != nil
+	if h.e == nil {
+		return false
+	}
+	ev := &h.e.slab[h.slot]
+	return ev.gen == h.gen && ev.fn != nil
 }
 
 // Engine is a sequential deterministic event loop. It is not safe for
 // concurrent use; run one Engine per goroutine (see RunParallel).
 type Engine struct {
-	now       Time
-	seq       uint64
-	heap      eventHeap
+	now Time
+	seq uint64
+
+	slab []event // all slots, addressed by the heap and by handles
+	heap []int32 // slot indices ordered as a 4-ary min-heap by (at, seq)
+	free []int32 // released slots available for reuse
+
+	live      int // queued events that have not been cancelled
 	executed  uint64
 	cancelled uint64
 	running   bool
@@ -118,19 +133,122 @@ func New() *Engine { return &Engine{} }
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending returns the number of live (non-cancelled) scheduled events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.heap {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of live (non-cancelled) scheduled events in
+// O(1).
+func (e *Engine) Pending() int { return e.live }
 
 // Executed returns how many events have fired so far.
 func (e *Engine) Executed() uint64 { return e.executed }
+
+// less orders two slots by (time, seq); seq breaks ties in scheduling
+// order, which makes the loop deterministic.
+func (e *Engine) less(a, b int32) bool {
+	ea, eb := &e.slab[a], &e.slab[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// siftUp moves heap[i] toward the root until the heap order holds.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	s := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !e.less(s, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = s
+}
+
+// siftDown moves heap[i] toward the leaves until the heap order holds.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	s := h[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if e.less(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !e.less(h[best], s) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = s
+}
+
+// alloc takes a slot from the free list or grows the slab.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free = e.free[:n-1]
+		return s
+	}
+	e.slab = append(e.slab, event{})
+	return int32(len(e.slab) - 1)
+}
+
+// release returns a slot to the free list and retires its generation.
+func (e *Engine) release(s int32) {
+	e.slab[s].fn = nil
+	e.slab[s].gen++
+	e.free = append(e.free, s)
+}
+
+// popMin removes and returns the heap's minimum slot.
+func (e *Engine) popMin() int32 {
+	h := e.heap
+	s := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	e.heap = h[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+	return s
+}
+
+// maybeCompact rebuilds the heap without its dead entries once corpses
+// outnumber live events (and are numerous enough to matter). The
+// rebuild is one pass over the heap slice plus an O(n) heapify, so the
+// amortized cost per cancellation is O(1).
+func (e *Engine) maybeCompact() {
+	dead := len(e.heap) - e.live
+	if dead <= compactMinDead || dead <= e.live {
+		return
+	}
+	h := e.heap
+	w := 0
+	for _, s := range h {
+		if e.slab[s].fn != nil {
+			h[w] = s
+			w++
+		} else {
+			e.release(s)
+		}
+	}
+	e.heap = h[:w]
+	for i := (w - 2) / 4; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past (t < Now) panics: in a discrete-event simulation that is always a
@@ -142,10 +260,16 @@ func (e *Engine) At(t Time, fn func()) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("des: scheduling into the past (%v < %v)", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	s := e.alloc()
+	ev := &e.slab[s]
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.heap, ev)
-	return Handle{ev: ev}
+	e.heap = append(e.heap, s)
+	e.siftUp(len(e.heap) - 1)
+	e.live++
+	return Handle{e: e, slot: s, gen: ev.gen}
 }
 
 // After schedules fn to run delay after the current virtual time.
@@ -160,14 +284,16 @@ func (e *Engine) After(delay Time, fn func()) Handle {
 // no live events remain.
 func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
-		ev := heap.Pop(&e.heap).(*event)
-		if ev.cancelled {
-			e.cancelled++
+		s := e.popMin()
+		ev := &e.slab[s]
+		if ev.fn == nil {
+			e.release(s)
 			continue
 		}
 		e.now = ev.at
 		fn := ev.fn
-		ev.fn = nil
+		e.live--
+		e.release(s)
 		e.executed++
 		fn()
 		return true
@@ -186,10 +312,9 @@ func (e *Engine) Run(deadline Time) {
 	defer func() { e.running = false }()
 	for len(e.heap) > 0 {
 		// Skim cancelled events off the top without advancing time.
-		top := e.heap[0]
-		if top.cancelled {
-			heap.Pop(&e.heap)
-			e.cancelled++
+		top := &e.slab[e.heap[0]]
+		if top.fn == nil {
+			e.release(e.popMin())
 			continue
 		}
 		if top.at > deadline {

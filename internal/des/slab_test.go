@@ -1,0 +1,240 @@
+package des
+
+import "testing"
+
+// White-box tests for the slab/4-ary-heap scheduler: slot recycling,
+// generation-guarded handles, compaction, and the determinism contract
+// under heavy cancel/reschedule churn.
+
+func TestSameTimestampFIFOAcrossSlotReuse(t *testing.T) {
+	e := New()
+	// Burn and cancel a batch so the free list is primed and later
+	// schedules run through recycled slots in free-list (reverse) order.
+	burn := make([]Handle, 64)
+	for i := range burn {
+		burn[i] = e.After(Second, func() {})
+	}
+	for _, h := range burn {
+		h.Cancel()
+	}
+	e.Run(2 * Second) // pop the corpses, freeing their slots
+	var order []int
+	for i := 0; i < 64; i++ {
+		i := i
+		e.At(5*Second, func() { order = append(order, i) })
+	}
+	e.RunUntilIdle(100)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp FIFO violated at %d: %v", i, order)
+		}
+	}
+}
+
+func TestCancelThenFireIsNoop(t *testing.T) {
+	e := New()
+	fired := false
+	h := e.After(Second, func() { fired = true })
+	if !h.Cancel() {
+		t.Fatal("cancel of a pending event should report true")
+	}
+	e.Run(5 * Second)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Executed() != 0 {
+		t.Fatalf("Executed = %d want 0", e.Executed())
+	}
+	if h.Cancel() || h.Pending() {
+		t.Fatal("handle should stay inert after the corpse is reclaimed")
+	}
+}
+
+func TestStaleHandleCannotCancelRecycledSlot(t *testing.T) {
+	e := New()
+	h1 := e.After(Second, func() {})
+	h1.Cancel()
+	e.Run(2 * Second) // corpse popped, slot released
+	fired := false
+	h2 := e.After(Second, func() { fired = true })
+	if h2.slot != h1.slot {
+		t.Fatalf("expected slot reuse, got %d then %d", h1.slot, h2.slot)
+	}
+	if h1.Cancel() {
+		t.Fatal("stale handle cancelled a newer event in the recycled slot")
+	}
+	if h1.Pending() {
+		t.Fatal("stale handle reports pending")
+	}
+	if !h2.Pending() {
+		t.Fatal("live handle should be pending")
+	}
+	e.Run(5 * Second)
+	if !fired {
+		t.Fatal("recycled-slot event did not fire")
+	}
+}
+
+func TestStaleHandleAfterFireCannotCancelSuccessor(t *testing.T) {
+	e := New()
+	h1 := e.After(Second, func() {})
+	e.RunUntilIdle(10) // fires; slot released
+	fired := false
+	h2 := e.After(Second, func() { fired = true })
+	if h2.slot != h1.slot {
+		t.Fatalf("expected slot reuse, got %d then %d", h1.slot, h2.slot)
+	}
+	if h1.Cancel() {
+		t.Fatal("handle of a fired event cancelled its slot successor")
+	}
+	e.RunUntilIdle(10)
+	if !fired {
+		t.Fatal("successor event did not fire")
+	}
+}
+
+func TestCancelDuringOwnCallbackIsNoop(t *testing.T) {
+	e := New()
+	var h Handle
+	h = e.After(Second, func() {
+		if h.Cancel() {
+			t.Error("event cancelled itself while firing")
+		}
+	})
+	e.RunUntilIdle(10)
+	if e.Executed() != 1 {
+		t.Fatalf("Executed = %d want 1", e.Executed())
+	}
+}
+
+func TestCompactionBoundsDeadBacklog(t *testing.T) {
+	e := New()
+	const n = 16384
+	handles := make([]Handle, n)
+	for i := range handles {
+		handles[i] = e.After(Hour+Time(i)*Second, func() {})
+	}
+	for _, h := range handles {
+		if !h.Cancel() {
+			t.Fatal("cancel failed")
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d want 0", e.Pending())
+	}
+	// Compaction triggers once dead > live, so the queue must have shed
+	// (almost) the whole backlog without the clock ever advancing.
+	if len(e.heap) > compactMinDead+1 {
+		t.Fatalf("heap holds %d corpses after mass cancel, want <= %d",
+			len(e.heap), compactMinDead+1)
+	}
+	// The freed slots must be recycled: scheduling the same volume again
+	// may grow the slab only by the few corpses still awaiting their
+	// lazy pop, not by anything near the full volume.
+	grew := len(e.slab)
+	for i := 0; i < n; i++ {
+		e.After(Hour, func() {})
+	}
+	if len(e.slab) > grew+compactMinDead {
+		t.Fatalf("slab grew from %d to %d despite ~%d free slots",
+			grew, len(e.slab), n)
+	}
+	e.Run(2 * Hour)
+	if e.Executed() != n {
+		t.Fatalf("Executed = %d want %d", e.Executed(), n)
+	}
+}
+
+func TestPendingCounterTracksChurn(t *testing.T) {
+	e := New()
+	hs := make([]Handle, 100)
+	for i := range hs {
+		hs[i] = e.After(Time(i+1)*Second, func() {})
+	}
+	if e.Pending() != 100 {
+		t.Fatalf("Pending = %d want 100", e.Pending())
+	}
+	for i := 0; i < 40; i++ {
+		hs[i].Cancel()
+	}
+	if e.Pending() != 60 {
+		t.Fatalf("Pending after cancels = %d want 60", e.Pending())
+	}
+	e.Run(70 * Second) // fires events 41..70 (events 1..40 are corpses)
+	if e.Pending() != 30 {
+		t.Fatalf("Pending after partial run = %d want 30", e.Pending())
+	}
+	e.RunUntilIdle(100)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d want 0", e.Pending())
+	}
+	if e.Executed() != 60 {
+		t.Fatalf("Executed = %d want 60", e.Executed())
+	}
+}
+
+func TestRunLeavesClockExactlyAtDeadline(t *testing.T) {
+	e := New()
+	e.After(Second, func() {})
+	e.After(10*Second, func() {})
+	e.Run(4*Second + 500*Millisecond)
+	if e.Now() != 4*Second+500*Millisecond {
+		t.Fatalf("clock = %v want exactly the deadline", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d want 1", e.Pending())
+	}
+}
+
+func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	e := New()
+	fn := func() {}
+	// Warm the slab and the heap capacity.
+	for i := 0; i < 1024; i++ {
+		e.After(Time(i+1)*Millisecond, fn)
+	}
+	e.RunUntilIdle(2048)
+	avg := testing.AllocsPerRun(1000, func() {
+		h := e.After(Millisecond, fn)
+		h.Cancel()
+		e.After(Millisecond, fn)
+		e.Run(e.Now() + Millisecond)
+	})
+	if avg > 0.01 {
+		t.Fatalf("steady-state schedule/cancel/run allocates %.2f allocs/op, want ~0", avg)
+	}
+}
+
+func TestChurnReplayDeterminism(t *testing.T) {
+	// Heavy cancel/reschedule churn (the ring-probing pattern) must not
+	// perturb the replay guarantee: same schedule, same trace, even
+	// while slots recycle and the heap compacts.
+	run := func() []Time {
+		e := New()
+		var trace []Time
+		var probe Handle
+		n := 0
+		var tick func()
+		tick = func() {
+			trace = append(trace, e.Now())
+			probe.Cancel()
+			probe = e.After(Time(n%13+5)*Millisecond, func() {})
+			n++
+			if n < 400 {
+				e.After(Time(n%7+1)*Millisecond, tick)
+			}
+		}
+		e.After(Millisecond, tick)
+		e.RunUntilIdle(10000)
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"testing"
+
+	"peerwindow/internal/core"
+	"peerwindow/internal/des"
+	"peerwindow/internal/workload"
+)
+
+// BenchmarkClusterJoinWave is the end-to-end check on the PR 1 hot-path
+// work: warm-start a converged full-fidelity population (Restore applies
+// one full ground-truth peer list per node) and then join a wave of
+// newcomers (each join step 3 downloads and applies a peer-list slice,
+// and the join multicast schedules and cancels timers across the whole
+// cluster). Its runtime is bounded by exactly the two paths this PR
+// rebuilds: peer-list batch application and the DES scheduler.
+//
+// Run with:
+//
+//	go test -bench ClusterJoinWave -benchmem ./internal/sim
+func BenchmarkClusterJoinWave(b *testing.B) {
+	wl := workload.DefaultConfig()
+	wl.MeanLifetime = 10 * des.Hour // effectively no churn during the wave
+	for i := 0; i < b.N; i++ {
+		c := NewCluster(ClusterConfig{Core: core.DefaultConfig(), Seed: uint64(i + 1)})
+		c.WarmStart(600, wl, 2)
+		for j := 0; j < 40; j++ {
+			sn := c.AddNode(1e9)
+			if err := c.Join(sn, c.RandomJoined(sn), des.Hour); err != nil {
+				b.Fatalf("join %d: %v", j, err)
+			}
+		}
+		c.Run(2 * des.Minute)
+	}
+}
