@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"peerwindow"
@@ -39,18 +40,21 @@ func main() {
 	opts.Budget = *budget
 	opts.Seed = *seed
 	opts.TraceCapacity = *traceCap
-	ov := peerwindow.New(opts)
+	ov, err := peerwindow.NewOverlay(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	defer ov.Close()
 
 	rng := xrand.New(*seed)
 	for i := 0; i < *peers; i++ {
 		name := fmt.Sprintf("peer-%03d", i)
-		p, err := ov.Spawn(name)
-		if err != nil {
+		info := peerwindow.WithInfo([]byte(fmt.Sprintf("born=%d", i)))
+		if _, err := ov.Spawn(name, info); err != nil {
 			fmt.Fprintf(os.Stderr, "spawn %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		p.SetInfo([]byte(fmt.Sprintf("born=%d", i)))
 		ov.Settle(15 * time.Second)
 	}
 	fmt.Printf("overlay up: %d peers\n", len(ov.Peers()))
@@ -76,9 +80,8 @@ func main() {
 			}
 			name := fmt.Sprintf("peer-%03d", next)
 			next++
-			if p, err := ov.Spawn(name); err == nil {
+			if _, err := ov.Spawn(name, peerwindow.WithInfo([]byte("newcomer"))); err == nil {
 				fmt.Printf("  t=%dm churn: %s joins\n", tick, name)
-				p.SetInfo([]byte("newcomer"))
 			} else {
 				fmt.Printf("  t=%dm churn: %s failed to join: %v\n", tick, name, err)
 			}
@@ -104,9 +107,23 @@ func main() {
 		fmt.Printf("  %-10s level=%d window=%3d in=%.0f bit/s\n",
 			p.Name(), p.Level(), len(p.Window()), p.InputRate())
 	}
-	s := ov.Stats()
+	m := ov.Metrics()
+	var msgs, bits, dropped uint64
+	for name, v := range m.Counters {
+		switch {
+		case strings.HasPrefix(name, "net.send_bits."):
+			bits += v
+		case strings.HasPrefix(name, "net.send."):
+			msgs += v
+		case strings.HasPrefix(name, "net.drop."):
+			dropped += v
+		}
+	}
 	fmt.Printf("\ntraffic: %d messages, %.1f kbit total, %d dropped\n",
-		s.Messages, float64(s.Bits)/1000, s.Dropped)
+		msgs, float64(bits)/1000, dropped)
+	fmt.Printf("protocol: %d multicasts originated, %d deliveries, %d ack retries, %d probe failures\n",
+		m.Counter("multicast.originated"), m.Counter("multicast.delivered"),
+		m.Counter("ack.retries"), m.Counter("probe.failures"))
 	if *traceCap > 0 {
 		fmt.Println("\nlast network events:")
 		if _, err := ov.DumpTrace(os.Stdout); err != nil {

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"peerwindow/internal/udptransport"
+	"peerwindow/internal/wire"
+)
+
+// This file implements the -debug-addr observability surface:
+//
+//	/metrics       Prometheus text exposition of every instrument
+//	/debug/window  the current window as JSON
+//	/debug/trace   the retained event ring, newest last, as plain text
+//
+// The endpoints read through the node's executor, so they are safe to
+// scrape while the protocol runs; they are meant for localhost
+// diagnostics, not for exposure to the open internet.
+
+// debugTraceCapacity is the event ring retained for /debug/trace when
+// the debug server is enabled.
+const debugTraceCapacity = 4096
+
+// pointerJSON is one window entry in /debug/window output.
+type pointerJSON struct {
+	ID    string `json:"id"`
+	Addr  string `json:"addr"`
+	Level int    `json:"level"`
+	Info  string `json:"info,omitempty"`
+}
+
+// windowJSON is the /debug/window document.
+type windowJSON struct {
+	Name   string        `json:"name"`
+	ID     string        `json:"id"`
+	Addr   string        `json:"addr"`
+	Level  int           `json:"level"`
+	Window []pointerJSON `json:"window"`
+}
+
+// endpoint renders a wire address as dotted-quad host:port.
+func endpoint(a wire.Addr) string {
+	ip, port := a.IPv4()
+	return fmt.Sprintf("%d.%d.%d.%d:%d", ip[0], ip[1], ip[2], ip[3], port)
+}
+
+// startDebugServer binds addr and serves the debug endpoints for n in a
+// background goroutine. It returns the bound listener so callers (and
+// tests) learn the effective port when addr ends in :0.
+func startDebugServer(addr, name string, n *udptransport.Node) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pwnode: debug server: %w", err)
+	}
+	n.EnableTrace(debugTraceCapacity)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		n.MetricsSnapshot().WritePrometheus(w, "pw")
+	})
+	mux.HandleFunc("/debug/window", func(w http.ResponseWriter, r *http.Request) {
+		self := n.Self()
+		doc := windowJSON{
+			Name:   name,
+			ID:     self.ID.String(),
+			Addr:   endpoint(self.Addr),
+			Level:  n.Level(),
+			Window: []pointerJSON{},
+		}
+		for _, p := range n.Pointers() {
+			doc.Window = append(doc.Window, pointerJSON{
+				ID:    p.ID.String(),
+				Addr:  endpoint(p.Addr),
+				Level: int(p.Level),
+				Info:  string(p.Info),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		ring := n.TraceRing()
+		if ring == nil {
+			fmt.Fprintln(w, "trace ring not enabled")
+			return
+		}
+		fmt.Fprintf(w, "# %d events recorded, newest last\n", ring.Total())
+		ring.Dump(w)
+	})
+
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln, nil
+}

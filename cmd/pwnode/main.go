@@ -28,13 +28,14 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:0", "UDP address to bind")
-		join     = flag.String("join", "", "bootstrap host:port (empty: start a fresh overlay)")
-		name     = flag.String("name", "", "node name (seeds the identifier; default: the bind address)")
-		budget   = flag.Float64("budget", 5000, "collection budget in bit/s")
-		info     = flag.String("info", "", "application info to attach to the pointer")
-		interval = flag.Duration("interval", 10*time.Second, "status print interval")
-		fast     = flag.Bool("fast", false, "compress protocol timers ~50x for local demos")
+		listen    = flag.String("listen", "127.0.0.1:0", "UDP address to bind")
+		join      = flag.String("join", "", "bootstrap host:port (empty: start a fresh overlay)")
+		name      = flag.String("name", "", "node name (seeds the identifier; default: the bind address)")
+		budget    = flag.Float64("budget", 5000, "collection budget in bit/s")
+		info      = flag.String("info", "", "application info to attach to the pointer")
+		interval  = flag.Duration("interval", 10*time.Second, "status print interval")
+		fast      = flag.Bool("fast", false, "compress protocol timers ~50x for local demos")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/window and /debug/trace over HTTP on this address (empty: disabled)")
 	)
 	flag.Parse()
 
@@ -61,6 +62,15 @@ func main() {
 	ip, port := self.Addr.IPv4()
 	fmt.Printf("pwnode %s: listening on %d.%d.%d.%d:%d id=%s\n",
 		nodeName, ip[0], ip[1], ip[2], ip[3], port, self.ID)
+
+	if *debugAddr != "" {
+		ln, err := startDebugServer(*debugAddr, nodeName, n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("debug server on http://%s (/metrics, /debug/window, /debug/trace)\n", ln.Addr())
+	}
 
 	if *join == "" {
 		n.Bootstrap()

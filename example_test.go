@@ -15,18 +15,19 @@ func Example() {
 	opts := peerwindow.Defaults()
 	opts.Dilation = 200 // compress time hard for the example
 	opts.Budget = 1e6
-	ov := peerwindow.New(opts)
+	ov, err := peerwindow.NewOverlay(opts)
+	if err != nil {
+		panic(err)
+	}
 	defer ov.Close()
 
 	alice, err := ov.Spawn("alice")
 	if err != nil {
 		panic(err)
 	}
-	bob, err := ov.Spawn("bob")
-	if err != nil {
+	if _, err := ov.Spawn("bob", peerwindow.WithInfo([]byte("role=archive"))); err != nil {
 		panic(err)
 	}
-	bob.SetInfo([]byte("role=archive"))
 	ov.Settle(2 * time.Minute)
 
 	archives := alice.Window().InfoContains("role=archive")

@@ -34,7 +34,10 @@ func main() {
 	opts.Dilation = 100
 	opts.Budget = 1e6
 	opts.Seed = 42
-	ov := peerwindow.New(opts)
+	ov, err := peerwindow.NewOverlay(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer ov.Close()
 
 	fleet := []profile{
@@ -48,11 +51,10 @@ func main() {
 		{"hydra", "linux", "5.15"},
 	}
 	for _, pr := range fleet {
-		p, err := ov.Spawn(pr.name)
-		if err != nil {
+		info := peerwindow.WithInfo([]byte(fmt.Sprintf("os=%s;rel=%s", pr.os, pr.rel)))
+		if _, err := ov.Spawn(pr.name, info); err != nil {
 			log.Fatalf("spawn %s: %v", pr.name, err)
 		}
-		p.SetInfo([]byte(fmt.Sprintf("os=%s;rel=%s", pr.os, pr.rel)))
 		ov.Settle(20 * time.Second)
 	}
 	// Let the info-change multicasts drain.

@@ -63,7 +63,10 @@ func main() {
 	opts.Dilation = 100
 	opts.Budget = 1e6
 	opts.Seed = 17
-	ov := peerwindow.New(opts)
+	ov, err := peerwindow.NewOverlay(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer ov.Close()
 
 	sellers := []struct {
@@ -80,11 +83,10 @@ func main() {
 		{"vault-g", 300, 5},
 	}
 	for _, s := range sellers {
-		p, err := ov.Spawn(s.name)
-		if err != nil {
+		info := peerwindow.WithInfo([]byte(fmt.Sprintf("gb=%d;ask=%d", s.gb, s.ask)))
+		if _, err := ov.Spawn(s.name, info); err != nil {
 			log.Fatalf("spawn %s: %v", s.name, err)
 		}
-		p.SetInfo([]byte(fmt.Sprintf("gb=%d;ask=%d", s.gb, s.ask)))
 		ov.Settle(20 * time.Second)
 	}
 	buyer, err := ov.Spawn("buyer")

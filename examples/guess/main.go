@@ -44,7 +44,10 @@ func main() {
 	opts.Dilation = 100
 	opts.Budget = 1e6
 	opts.Seed = 11
-	ov := peerwindow.New(opts)
+	ov, err := peerwindow.NewOverlay(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer ov.Close()
 
 	rng := xrand.New(99)

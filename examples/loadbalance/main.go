@@ -44,7 +44,10 @@ func main() {
 	opts.Dilation = 100
 	opts.Budget = 1e6
 	opts.Seed = 7
-	ov := peerwindow.New(opts)
+	ov, err := peerwindow.NewOverlay(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer ov.Close()
 
 	// A deliberately skewed initial assignment.
@@ -54,11 +57,10 @@ func main() {
 	}
 	names := []string{"w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7"}
 	for _, name := range names {
-		p, err := ov.Spawn(name)
-		if err != nil {
+		info := peerwindow.WithInfo([]byte(fmt.Sprintf("load=%d", loads[name])))
+		if _, err := ov.Spawn(name, info); err != nil {
 			log.Fatalf("spawn %s: %v", name, err)
 		}
-		p.SetInfo([]byte(fmt.Sprintf("load=%d", loads[name])))
 		ov.Settle(20 * time.Second)
 	}
 	ov.Settle(2 * time.Minute)

@@ -18,7 +18,10 @@ func main() {
 	opts := peerwindow.Defaults()
 	opts.Dilation = 100 // a virtual minute per 600 ms of wall time
 	opts.Budget = 1e6   // plenty: everyone collects the whole system
-	ov := peerwindow.New(opts)
+	ov, err := peerwindow.NewOverlay(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer ov.Close()
 
 	// The first peer bootstraps the overlay; the rest join through the

@@ -200,6 +200,7 @@ func (n *Node) reconcile() {
 	if n.stopped || !n.joined {
 		return
 	}
+	n.m.reconcileRuns.Inc()
 	donor, ok := n.peers.Strongest()
 	if !ok || int(donor.Level) > n.Level() {
 		if len(n.topList) == 0 {
@@ -231,6 +232,8 @@ func (n *Node) reconcile() {
 			})
 			for _, id := range drop {
 				if e, had := n.peers.Remove(id); had {
+					n.m.reconcileDrops.Inc()
+					n.m.removed(RemoveStale)
 					if n.obs.PeerRemoved != nil {
 						n.obs.PeerRemoved(e.ptr, RemoveStale)
 					}
@@ -303,10 +306,13 @@ func (n *Node) lowerLevel() {
 		n.captureSplitPointers(dropped, n.eigen)
 	}
 	for _, e := range dropped {
+		n.m.removed(RemoveShift)
 		if n.obs.PeerRemoved != nil {
 			n.obs.PeerRemoved(e.ptr, RemoveShift)
 		}
 	}
+	n.m.shiftsDown.Inc()
+	n.tracef("shift-down", "level %d -> %d shed=%d", old, old+1, len(dropped))
 	if n.obs.LevelChanged != nil {
 		n.obs.LevelChanged(old, old+1)
 	}
@@ -366,6 +372,8 @@ func (n *Node) raiseLevel(done func(ok bool)) {
 			n.lastShift = n.env.Now()
 			n.setLevel(newLevel)
 			n.applyPointers(resp.Pointers, true)
+			n.m.shiftsUp.Inc()
+			n.tracef("shift-up", "level %d -> %d", old, newLevel)
 			if n.obs.LevelChanged != nil {
 				n.obs.LevelChanged(old, newLevel)
 			}

@@ -1,0 +1,183 @@
+package core
+
+// This file is the protocol's self-measurement: every node carries a
+// metrics registry whose counters and histograms are incremented inline
+// by the state machine — multicast fan-out, ack retries, probe rounds,
+// failure-detection latency, level shifts, refresh traffic — and an
+// optional trace-ring hook so the same moments that bump a counter also
+// leave a correlated line in the post-mortem trace. Counter writes are
+// single atomic adds (see internal/metrics), cheap enough to stay on in
+// the hot paths the PR 1 benchmarks guard.
+
+import (
+	"fmt"
+
+	"peerwindow/internal/metrics"
+	"peerwindow/internal/trace"
+)
+
+// Metric names exposed by a node's registry. docs/OBSERVABILITY.md is
+// the human-facing index; keep the two in sync.
+const (
+	MetricMulticastOriginated = "multicast.originated"
+	MetricMulticastDelivered  = "multicast.delivered"
+	MetricMulticastDuplicates = "multicast.duplicates"
+	MetricMulticastForwards   = "multicast.forwards"
+	MetricMulticastRedirects  = "multicast.redirects"
+	MetricMulticastStepDepth  = "multicast.step_depth"
+
+	MetricAckRetries  = "ack.retries"
+	MetricAckFailures = "ack.failures"
+
+	MetricProbeRounds        = "probe.rounds"
+	MetricProbeRetries       = "probe.retries"
+	MetricProbeFailures      = "probe.failures"
+	MetricProbeDetectLatency = "probe.detect_latency_seconds"
+
+	MetricFailureVerified    = "failure.verified"
+	MetricFailureFalseAlarms = "failure.false_alarms"
+
+	MetricLevelShiftsUp   = "level.shifts_up"
+	MetricLevelShiftsDown = "level.shifts_down"
+
+	MetricRefreshSelf    = "refresh.self_multicasts"
+	MetricRefreshExpired = "refresh.expired_pointers"
+
+	MetricReportsSent        = "report.sent"
+	MetricReportEscalations  = "report.escalations"
+	MetricTopListRefreshes   = "toplist.cross_part_refreshes"
+	MetricSplitCaptures      = "split.captures"
+	MetricReconcileRuns      = "reconcile.runs"
+	MetricReconcileDrops     = "reconcile.dropped_pointers"
+	MetricPeersAdded         = "peers.added"
+	MetricPeersRemovedPrefix = "peers.removed." // + RemoveReason.String()
+
+	MetricGaugeLevel      = "peer.level"
+	MetricGaugeWindowSize = "peer.window_size"
+	MetricGaugeInBps      = "peer.input_rate_bps"
+	MetricGaugeOutBps     = "peer.output_rate_bps"
+)
+
+// nodeMetrics holds direct instrument handles so hot paths skip the
+// registry's map lookups.
+type nodeMetrics struct {
+	reg *metrics.Registry
+
+	mcOriginated *metrics.Counter
+	mcDelivered  *metrics.Counter
+	mcDuplicates *metrics.Counter
+	mcForwards   *metrics.Counter
+	mcRedirects  *metrics.Counter
+	mcStepDepth  *metrics.Hist
+
+	ackRetries  *metrics.Counter
+	ackFailures *metrics.Counter
+
+	probeRounds   *metrics.Counter
+	probeRetries  *metrics.Counter
+	probeFailures *metrics.Counter
+	detectLatency *metrics.Hist
+
+	failVerified    *metrics.Counter
+	failFalseAlarms *metrics.Counter
+
+	shiftsUp   *metrics.Counter
+	shiftsDown *metrics.Counter
+
+	refreshSelf    *metrics.Counter
+	refreshExpired *metrics.Counter
+
+	reportsSent       *metrics.Counter
+	reportEscalations *metrics.Counter
+	topListRefreshes  *metrics.Counter
+	splitCaptures     *metrics.Counter
+	reconcileRuns     *metrics.Counter
+	reconcileDrops    *metrics.Counter
+
+	peersAdded   *metrics.Counter
+	peersRemoved [5]*metrics.Counter // indexed by RemoveReason; 0 unused
+}
+
+// stepDepthBounds bucket the multicast step counter (fan-out depth):
+// identifiers are 128 bits, so depth can reach nodeid.Bits, but real
+// trees stay near log2 N.
+var stepDepthBounds = []float64{1, 2, 4, 8, 12, 16, 24, 32, 64, 128}
+
+func newNodeMetrics() nodeMetrics {
+	reg := metrics.NewRegistry()
+	m := nodeMetrics{
+		reg:               reg,
+		mcOriginated:      reg.Counter(MetricMulticastOriginated),
+		mcDelivered:       reg.Counter(MetricMulticastDelivered),
+		mcDuplicates:      reg.Counter(MetricMulticastDuplicates),
+		mcForwards:        reg.Counter(MetricMulticastForwards),
+		mcRedirects:       reg.Counter(MetricMulticastRedirects),
+		mcStepDepth:       reg.Histogram(MetricMulticastStepDepth, stepDepthBounds),
+		ackRetries:        reg.Counter(MetricAckRetries),
+		ackFailures:       reg.Counter(MetricAckFailures),
+		probeRounds:       reg.Counter(MetricProbeRounds),
+		probeRetries:      reg.Counter(MetricProbeRetries),
+		probeFailures:     reg.Counter(MetricProbeFailures),
+		detectLatency:     reg.Histogram(MetricProbeDetectLatency, metrics.DefaultLatencyBounds()),
+		failVerified:      reg.Counter(MetricFailureVerified),
+		failFalseAlarms:   reg.Counter(MetricFailureFalseAlarms),
+		shiftsUp:          reg.Counter(MetricLevelShiftsUp),
+		shiftsDown:        reg.Counter(MetricLevelShiftsDown),
+		refreshSelf:       reg.Counter(MetricRefreshSelf),
+		refreshExpired:    reg.Counter(MetricRefreshExpired),
+		reportsSent:       reg.Counter(MetricReportsSent),
+		reportEscalations: reg.Counter(MetricReportEscalations),
+		topListRefreshes:  reg.Counter(MetricTopListRefreshes),
+		splitCaptures:     reg.Counter(MetricSplitCaptures),
+		reconcileRuns:     reg.Counter(MetricReconcileRuns),
+		reconcileDrops:    reg.Counter(MetricReconcileDrops),
+		peersAdded:        reg.Counter(MetricPeersAdded),
+	}
+	for _, r := range []RemoveReason{RemoveLeave, RemoveStale, RemoveExpired, RemoveShift} {
+		m.peersRemoved[r] = reg.Counter(MetricPeersRemovedPrefix + r.String())
+	}
+	return m
+}
+
+// removed bumps the per-reason removal counter.
+func (m *nodeMetrics) removed(r RemoveReason) {
+	if int(r) > 0 && int(r) < len(m.peersRemoved) && m.peersRemoved[r] != nil {
+		m.peersRemoved[r].Inc()
+	}
+}
+
+// Metrics exposes the node's raw registry (the transports use it to
+// aggregate; tests reach individual instruments through it).
+func (n *Node) Metrics() *metrics.Registry { return n.m.reg }
+
+// MetricsSnapshot captures every protocol instrument plus the
+// instantaneous gauges (level, window size, measured rates). Gauges are
+// refreshed here rather than on every change so the hot paths stay
+// write-only.
+func (n *Node) MetricsSnapshot() metrics.Snapshot {
+	n.m.reg.Gauge(MetricGaugeLevel).Set(int64(n.Level()))
+	n.m.reg.Gauge(MetricGaugeWindowSize).Set(int64(n.peers.Len()))
+	n.m.reg.Gauge(MetricGaugeInBps).Set(int64(n.InputRate()))
+	n.m.reg.Gauge(MetricGaugeOutBps).Set(int64(n.OutputRate()))
+	return n.m.reg.Snapshot()
+}
+
+// SetTrace attaches a trace ring: protocol-level moments (probe rounds,
+// detections, level shifts, retries, refreshes) are recorded into it with
+// the same virtual timestamps the transports use for message flow, so a
+// DumpTrace interleaves both layers. Call before the node goes live; a
+// nil ring disables protocol tracing.
+func (n *Node) SetTrace(r *trace.Ring) { n.traceRing = r }
+
+// tracef records one protocol event when tracing is enabled. The
+// format-and-args indirection keeps the disabled path free of fmt work.
+func (n *Node) tracef(kind, format string, args ...any) {
+	if n.traceRing == nil {
+		return
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	n.traceRing.Record(n.env.Now(), uint64(n.self.Addr), kind, detail)
+}

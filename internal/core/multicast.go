@@ -29,8 +29,11 @@ func (n *Node) handleEvent(m wire.Message) {
 	// Ack unconditionally — the sender only needs to know we are alive.
 	n.send(wire.Message{Type: wire.MsgAck, To: m.From, AckID: m.AckID})
 	if !n.applyEvent(m.Event) {
+		n.m.mcDuplicates.Inc()
 		return // duplicate; the tree below us was already covered
 	}
+	n.m.mcDelivered.Inc()
+	n.m.mcStepDepth.Observe(float64(m.Step))
 	if n.obs.EventDelivered != nil {
 		n.obs.EventDelivered(m.Event, int(m.Step))
 	}
@@ -50,6 +53,8 @@ func (n *Node) handleEvent(m wire.Message) {
 // the event (top-node path, §2). A top node of a split part at level L
 // starts at step L: no stronger nodes exist in its part.
 func (n *Node) originateMulticast(ev wire.Event) {
+	n.m.mcOriginated.Inc()
+	n.tracef("mc-origin", "%v subject=%s seq=%d", ev.Kind, ev.Subject.ID, ev.Seq)
 	if n.obs.EventOriginated != nil {
 		n.obs.EventOriginated(ev)
 	}
@@ -135,8 +140,10 @@ func (n *Node) sendGossipCopy(ev wire.Event, target wire.Pointer) {
 		return
 	}
 	msg := wire.Message{Type: wire.MsgEvent, To: target.Addr, Step: 0, Event: ev}
+	n.m.mcForwards.Inc()
 	n.sendReliable(msg, n.cfg.RetryAttempts, nil, func() {
 		if e, had := n.peers.Remove(target.ID); had {
+			n.m.removed(RemoveStale)
 			if n.obs.PeerRemoved != nil {
 				n.obs.PeerRemoved(e.ptr, RemoveStale)
 			}
@@ -165,10 +172,14 @@ func (n *Node) sendStep(ev wire.Event, s int, failed map[nodeid.ID]bool) {
 		Step:  uint8(s + 1),
 		Event: ev,
 	}
+	n.m.mcForwards.Inc()
 	n.sendReliable(msg, n.cfg.RetryAttempts, nil, func() {
 		// §4.2: no response after the attempt budget — remove the stale
 		// pointer and redirect to a new target for the same step.
+		n.m.mcRedirects.Inc()
+		n.tracef("mc-redirect", "step=%d stale=%s", s, target.ID)
 		if e, had := n.peers.Remove(target.ID); had {
+			n.m.removed(RemoveStale)
 			if n.obs.PeerRemoved != nil {
 				n.obs.PeerRemoved(e.ptr, RemoveStale)
 			}
@@ -202,9 +213,14 @@ func (n *Node) verifyFailure(target wire.Pointer) {
 		func(wire.Message) {
 			// Alive after all — the earlier send chain lost to the
 			// network, not to a death. Restore the pointer we dropped.
+			n.m.failFalseAlarms.Inc()
+			n.tracef("false-alarm", "target=%s", target.ID)
 			if !n.stopped && !n.dead[target.ID] && n.eigen.Contains(target.ID) {
-				if n.peers.Upsert(target, n.env.Now()) && n.obs.PeerAdded != nil {
-					n.obs.PeerAdded(target)
+				if n.peers.Upsert(target, n.env.Now()) {
+					n.m.peersAdded.Inc()
+					if n.obs.PeerAdded != nil {
+						n.obs.PeerAdded(target)
+					}
 				}
 			}
 		},
@@ -213,6 +229,8 @@ func (n *Node) verifyFailure(target wire.Pointer) {
 				return
 			}
 			n.dead[target.ID] = true
+			n.m.failVerified.Inc()
+			n.tracef("verify-detect", "target=%s", target.ID)
 			if n.obs.FailureReported != nil {
 				n.obs.FailureReported(target, "verify")
 			}

@@ -7,6 +7,7 @@ import (
 	"peerwindow/internal/des"
 	"peerwindow/internal/metrics"
 	"peerwindow/internal/nodeid"
+	"peerwindow/internal/trace"
 	"peerwindow/internal/wire"
 )
 
@@ -43,12 +44,15 @@ type Node struct {
 	nextAckID uint64
 	pending   map[uint64]*pendingSend
 
-	// Probing state (§4.1).
+	// Probing state (§4.1). probeStart is when the current round's first
+	// heartbeat went out — the zero point of the detection-latency
+	// histogram.
 	probeTimer    Timer
 	probeAckID    uint64
 	probeAttempts int
 	probeTarget   wire.Pointer
 	probeWait     Timer
+	probeStart    des.Time
 
 	// Bandwidth meters: in drives level shifting; out is reported for
 	// figure 8.
@@ -59,6 +63,12 @@ type Node struct {
 	// of §4.6.
 	lifetimes   metrics.PerLevel
 	lastRefresh des.Time
+
+	// m is the node's instrument registry (see metrics.go); traceRing,
+	// when set, receives protocol-level trace events alongside the
+	// transport's message flow.
+	m         nodeMetrics
+	traceRing *trace.Ring
 
 	shiftTimer   Timer
 	refreshTimer Timer
@@ -100,6 +110,7 @@ func NewNode(cfg Config, env Env, obs Observer, self wire.Pointer) *Node {
 		pending:    make(map[uint64]*pendingSend),
 		inMeter:    metrics.NewMeter(cfg.MeterWindow, 8),
 		outMeter:   metrics.NewMeter(cfg.MeterWindow, 8),
+		m:          newNodeMetrics(),
 		warmTarget: -1,
 	}
 	n.setLevel(0)
@@ -478,7 +489,9 @@ func (n *Node) applyPointers(ps []wire.Pointer, notify bool) int {
 	if notify && n.obs.PeerAdded != nil {
 		onNew = n.obs.PeerAdded
 	}
-	return n.peers.MergeSorted(batch, n.env.Now(), onNew)
+	added := n.peers.MergeSorted(batch, n.env.Now(), onNew)
+	n.m.peersAdded.Add(uint64(added))
+	return added
 }
 
 // pruneDedup bounds the seen/dead bookkeeping: entries for subjects that
@@ -540,6 +553,7 @@ func (n *Node) applyEvent(ev wire.Event) bool {
 		if e, ok := n.peers.Remove(subj.ID); ok {
 			removed = true
 			n.lifetimes.Add(int(e.ptr.Level), float64(now-e.firstSeen))
+			n.m.removed(RemoveLeave)
 			if n.obs.PeerRemoved != nil {
 				n.obs.PeerRemoved(e.ptr, RemoveLeave)
 			}
@@ -564,8 +578,11 @@ func (n *Node) applyEvent(ev wire.Event) bool {
 			return true
 		}
 		isNew := n.peers.Upsert(subj, now)
-		if isNew && n.obs.PeerAdded != nil {
-			n.obs.PeerAdded(subj)
+		if isNew {
+			n.m.peersAdded.Inc()
+			if n.obs.PeerAdded != nil {
+				n.obs.PeerAdded(subj)
+			}
 		}
 		return true
 	}

@@ -46,12 +46,19 @@ func (n *Node) probeOnce() {
 	}
 	n.probeTarget = target
 	n.probeAttempts = 0
+	n.probeStart = n.env.Now()
+	n.m.probeRounds.Inc()
+	n.tracef("probe-round", "target=%s", target.ID)
 	n.probeSend(target)
 }
 
 // probeSend transmits one heartbeat attempt and arms its timeout.
 func (n *Node) probeSend(target wire.Pointer) {
 	n.probeAttempts++
+	if n.probeAttempts > 1 {
+		n.m.probeRetries.Inc()
+		n.tracef("probe-retry", "target=%s attempt=%d", target.ID, n.probeAttempts)
+	}
 	msg := wire.Message{Type: wire.MsgHeartbeat, To: target.Addr}
 	n.nextAckID++
 	n.probeAckID = n.nextAckID
@@ -87,8 +94,13 @@ func (n *Node) onProbeTimeout(target wire.Pointer) {
 		n.probeSend(target)
 		return
 	}
+	detectLatency := n.env.Now() - n.probeStart
+	n.m.probeFailures.Inc()
+	n.m.detectLatency.Observe(detectLatency.Seconds())
+	n.tracef("probe-detect", "target=%s latency=%v", target.ID, detectLatency)
 	if e, ok := n.peers.Remove(target.ID); ok {
 		n.lifetimes.Add(int(e.ptr.Level), float64(n.env.Now()-e.firstSeen))
+		n.m.removed(RemoveStale)
 		if n.obs.PeerRemoved != nil {
 			n.obs.PeerRemoved(e.ptr, RemoveStale)
 		}

@@ -53,6 +53,9 @@ func (n *Node) onRefreshTick() {
 	})
 	for _, id := range expired {
 		if e, ok := n.peers.Remove(id); ok {
+			n.m.refreshExpired.Inc()
+			n.m.removed(RemoveExpired)
+			n.tracef("expire", "stale=%s", e.ptr.ID)
 			if n.obs.PeerRemoved != nil {
 				n.obs.PeerRemoved(e.ptr, RemoveExpired)
 			}
@@ -70,6 +73,8 @@ func (n *Node) onRefreshTick() {
 	}
 	if now-n.lastRefresh >= period {
 		n.lastRefresh = now
+		n.m.refreshSelf.Inc()
+		n.tracef("refresh", "period=%v", period)
 		n.announce(wire.EventRefresh)
 	}
 }

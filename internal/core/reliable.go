@@ -50,10 +50,14 @@ func (n *Node) onAckTimeout(id uint64) {
 		return
 	}
 	if p.attempts > 0 {
+		n.m.ackRetries.Inc()
+		n.tracef("ack-retry", "%v to=%d", p.msg.Type, p.msg.To)
 		n.transmit(id, p)
 		return
 	}
 	delete(n.pending, id)
+	n.m.ackFailures.Inc()
+	n.tracef("ack-fail", "%v to=%d", p.msg.Type, p.msg.To)
 	if p.onFail != nil {
 		p.onFail()
 	}

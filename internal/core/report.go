@@ -68,6 +68,7 @@ func (n *Node) reportVia(ev wire.Event, tops []wire.Pointer, refreshed bool) {
 	}
 	t := tops[0]
 	msg := wire.Message{Type: wire.MsgReport, To: t.Addr, Event: ev}
+	n.m.reportsSent.Inc()
 	n.sendReliable(msg, n.cfg.RetryAttempts, nil, func() {
 		// The top node is unreachable: drop it from the list and try the
 		// next one.
@@ -80,6 +81,8 @@ func (n *Node) reportVia(ev wire.Event, tops []wire.Pointer, refreshed bool) {
 // hand the event to the strongest known peer, or originate the multicast
 // ourselves (covering at least our own subtree of the audience).
 func (n *Node) reportEscalate(ev wire.Event) {
+	n.m.reportEscalations.Inc()
+	n.tracef("report-escalate", "%v subject=%s", ev.Kind, ev.Subject.ID)
 	if p, ok := n.peers.Strongest(); ok && int(p.Level) < int(n.self.Level) {
 		msg := wire.Message{Type: wire.MsgReport, To: p.Addr, Event: ev}
 		n.sendReliable(msg, n.cfg.RetryAttempts, nil, func() {

@@ -78,6 +78,8 @@ func (n *Node) captureSplitPointers(dropped []peerEntry, newEigen nodeid.Eigenst
 			best = append(best, p)
 		}
 	}
+	n.m.splitCaptures.Inc()
+	n.tracef("split-capture", "sibling tops=%d", len(best))
 	n.rememberCrossPart(sibling, best)
 }
 
@@ -119,6 +121,7 @@ func (n *Node) refreshCrossTop() {
 			continue
 		}
 		target := ps[n.env.Rand().Intn(len(ps))]
+		n.m.topListRefreshes.Inc()
 		part := part
 		msg := wire.Message{Type: wire.MsgTopListReq, To: target.Addr}
 		n.sendReliable(msg, 1,

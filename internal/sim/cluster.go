@@ -24,6 +24,7 @@ import (
 	"peerwindow/internal/nodeid"
 	"peerwindow/internal/oracle"
 	"peerwindow/internal/topology"
+	"peerwindow/internal/trace"
 	"peerwindow/internal/wire"
 	"peerwindow/internal/xrand"
 )
@@ -42,6 +43,11 @@ type ClusterConfig struct {
 	LossRate float64
 	// Seed drives every random choice in the run.
 	Seed uint64
+	// Trace, when non-nil, receives every node's protocol-level events
+	// (probe rounds, retries, detections, level shifts, …) stamped with
+	// virtual time, so counter assertions can be cross-checked against
+	// the event timeline.
+	Trace *trace.Ring
 }
 
 // Cluster is a deterministic full-fidelity simulation of a PeerWindow
@@ -205,6 +211,9 @@ func (c *Cluster) AddNode(threshold float64) *SimNode {
 		},
 	}
 	sn.Node = core.NewNode(coreCfg, sn, obs, self)
+	if c.cfg.Trace != nil {
+		sn.Node.SetTrace(c.cfg.Trace)
+	}
 	c.nodes = append(c.nodes, sn)
 	c.byAddr[addr] = sn
 	return sn

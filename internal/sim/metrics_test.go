@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"peerwindow/internal/core"
+	"peerwindow/internal/des"
+	"peerwindow/internal/trace"
+)
+
+// TestCrashMetricsMatchTrace is the observability cross-check the issue
+// asks for: in a fully deterministic seeded run, crash one node and
+// verify that the probe counters and the detection-latency histogram
+// agree exactly with the protocol events recorded in the trace ring —
+// same failure count, same retry count, and a histogram sum equal to
+// the per-detection probe-round→declaration gaps read off the timeline.
+func TestCrashMetricsMatchTrace(t *testing.T) {
+	ring := trace.NewRing(1 << 16)
+	c := NewCluster(ClusterConfig{Core: core.DefaultConfig(), Seed: 42, Trace: ring})
+	first := c.AddNode(1e9)
+	c.Bootstrap(first)
+	for i := 1; i < 10; i++ {
+		sn := c.AddNode(1e9)
+		if err := c.Join(sn, c.RandomJoined(sn), des.Hour); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		c.Run(30 * des.Second)
+	}
+	c.Run(2 * des.Minute)
+
+	victim := c.Alive()[4]
+	c.Kill(victim)
+	// Probe interval 30 s, timeout 5 s × 3 attempts: ten minutes is
+	// ample for the ring probe to declare the crash and multicast it.
+	c.Run(10 * des.Minute)
+
+	var rounds, retries, failures, latCount uint64
+	var latSum float64
+	for _, sn := range c.Alive() {
+		s := sn.Node.MetricsSnapshot()
+		rounds += s.Counters[core.MetricProbeRounds]
+		retries += s.Counters[core.MetricProbeRetries]
+		failures += s.Counters[core.MetricProbeFailures]
+		h := s.Histograms[core.MetricProbeDetectLatency]
+		latCount += h.Count
+		latSum += h.Sum
+	}
+	if failures == 0 {
+		t.Fatal("no probe failure recorded after the crash")
+	}
+	if latCount != failures {
+		t.Fatalf("detect-latency histogram has %d observations, probe.failures = %d", latCount, failures)
+	}
+
+	// The same story must be told by the trace ring. Events arrive
+	// oldest-first; survivors' counters exclude the victim, so do we.
+	dead := uint64(victim.Addr)
+	var roundEvents, retryEvents, detectEvents []trace.Event
+	for _, e := range ring.Snapshot() {
+		if e.Node == dead {
+			continue
+		}
+		switch e.Kind {
+		case "probe-round":
+			roundEvents = append(roundEvents, e)
+		case "probe-retry":
+			retryEvents = append(retryEvents, e)
+		case "probe-detect":
+			detectEvents = append(detectEvents, e)
+		}
+	}
+	if got := uint64(len(detectEvents)); got != failures {
+		t.Fatalf("trace has %d probe-detect events, counters say %d", got, failures)
+	}
+	if got := uint64(len(retryEvents)); got != retries {
+		t.Fatalf("trace has %d probe-retry events, counters say %d", got, retries)
+	}
+	if got := uint64(len(roundEvents)); got != rounds {
+		t.Fatalf("trace has %d probe-round events, counters say %d", got, rounds)
+	}
+
+	// Timeline check: each detection's latency is the gap back to the
+	// detecting node's most recent probe-round; the histogram sums
+	// exactly these gaps (in virtual seconds). Walk the ring in order —
+	// a declaration can share its timestamp with the round that follows
+	// it, so "most recent" means ring order, not timestamp order.
+	lastRound := make(map[uint64]des.Time)
+	var wantSum float64
+	for _, e := range ring.Snapshot() {
+		if e.Node == dead {
+			continue
+		}
+		switch e.Kind {
+		case "probe-round":
+			lastRound[e.Node] = e.At
+		case "probe-detect":
+			start, ok := lastRound[e.Node]
+			if !ok {
+				t.Fatalf("probe-detect by node %d has no preceding probe-round", e.Node)
+			}
+			wantSum += (e.At - start).Seconds()
+		}
+	}
+	if math.Abs(wantSum-latSum) > 1e-6 {
+		t.Fatalf("histogram sum %.9f s, trace timeline says %.9f s", latSum, wantSum)
+	}
+	// And a detection cannot be instantaneous: it waits out at least one
+	// probe timeout.
+	if latSum < (core.DefaultConfig().ProbeTimeout).Seconds() {
+		t.Fatalf("summed detection latency %.3f s is below a single probe timeout", latSum)
+	}
+	t.Logf("probe.rounds=%d probe.retries=%d probe.failures=%d detect latency mean=%.1fs",
+		rounds, retries, failures, latSum/float64(latCount))
+}

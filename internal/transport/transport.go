@@ -22,12 +22,36 @@ import (
 
 	"peerwindow/internal/core"
 	"peerwindow/internal/des"
+	"peerwindow/internal/metrics"
 	"peerwindow/internal/nodeid"
 	"peerwindow/internal/topology"
 	"peerwindow/internal/trace"
 	"peerwindow/internal/wire"
 	"peerwindow/internal/xrand"
 )
+
+// typeCounters is one instrument set per message type: send/recv/drop
+// counts plus sent/received bytes, indexed by wire.MsgType for lock-free
+// hot-path access.
+type typeCounters struct {
+	send, recv, drop   [wire.MsgTopListResp + 1]*metrics.Counter
+	sendBits, recvBits [wire.MsgTopListResp + 1]*metrics.Counter
+}
+
+// newTypeCounters registers the per-type instruments in reg under
+// net.<verb>.<type> names.
+func newTypeCounters(reg *metrics.Registry) typeCounters {
+	var tc typeCounters
+	for t := wire.MsgEvent; t <= wire.MsgTopListResp; t++ {
+		name := t.String()
+		tc.send[t] = reg.Counter("net.send." + name)
+		tc.recv[t] = reg.Counter("net.recv." + name)
+		tc.drop[t] = reg.Counter("net.drop." + name)
+		tc.sendBits[t] = reg.Counter("net.send_bits." + name)
+		tc.recvBits[t] = reg.Counter("net.recv_bits." + name)
+	}
+	return tc
+}
 
 // NetworkConfig configures the in-process network.
 type NetworkConfig struct {
@@ -68,6 +92,11 @@ type Network struct {
 	messages uint64
 	bits     uint64
 	dropped  uint64
+
+	// reg holds the per-message-type network instruments; tc caches the
+	// counter pointers for the delivery hot path.
+	reg *metrics.Registry
+	tc  typeCounters
 }
 
 // Stats is a snapshot of the network's traffic counters.
@@ -103,13 +132,26 @@ func NewNetwork(cfg NetworkConfig) *Network {
 		panic(err)
 	}
 	root := xrand.New(cfg.Seed)
+	reg := metrics.NewRegistry()
 	return &Network{
 		cfg:     cfg,
 		start:   time.Now(),
 		hosts:   make(map[wire.Addr]*Host),
 		rng:     root.Split(1),
 		lossRng: root.Split(2),
+		reg:     reg,
+		tc:      newTypeCounters(reg),
 	}
+}
+
+// Metrics snapshots the network-level instruments: per-message-type
+// send/recv/drop counts and bits, plus the live-host gauge.
+func (n *Network) Metrics() metrics.Snapshot {
+	n.mu.Lock()
+	hosts := len(n.hosts)
+	n.mu.Unlock()
+	n.reg.Gauge("net.hosts").Set(int64(hosts))
+	return n.reg.Snapshot()
 }
 
 // now returns the current virtual time.
@@ -182,6 +224,10 @@ func (n *Network) SpawnObserved(name string, threshold float64, obs core.Observe
 		ID: nodeid.Hash([]byte(fmt.Sprintf("%s/%d", name, addr))),
 	}
 	h.node = core.NewNode(coreCfg, h, obs, self)
+	if n.cfg.Trace != nil {
+		// Protocol-level events interleave with message flow in the ring.
+		h.node.SetTrace(n.cfg.Trace)
+	}
 	n.hosts[addr] = h
 	go h.loop()
 	return h
@@ -206,6 +252,10 @@ func (n *Network) latency(a, b *Host) des.Time {
 func (n *Network) deliver(from *Host, msg wire.Message) {
 	atomic.AddUint64(&n.messages, 1)
 	atomic.AddUint64(&n.bits, uint64(msg.SizeBits()))
+	if msg.Type.Valid() {
+		n.tc.send[msg.Type].Inc()
+		n.tc.sendBits[msg.Type].Add(uint64(msg.SizeBits()))
+	}
 	if n.cfg.Trace != nil {
 		n.cfg.Trace.Record(n.now(), uint64(msg.From), "send",
 			fmt.Sprintf("%v to=%d", msg.Type, msg.To))
@@ -216,6 +266,9 @@ func (n *Network) deliver(from *Host, msg wire.Message) {
 		n.mu.Unlock()
 		if drop {
 			atomic.AddUint64(&n.dropped, 1)
+			if msg.Type.Valid() {
+				n.tc.drop[msg.Type].Inc()
+			}
 			if n.cfg.Trace != nil {
 				n.cfg.Trace.Record(n.now(), uint64(msg.From), "drop",
 					fmt.Sprintf("%v to=%d", msg.Type, msg.To))
@@ -230,6 +283,10 @@ func (n *Network) deliver(from *Host, msg wire.Message) {
 	lat := n.toWall(n.latency(from, to))
 	time.AfterFunc(lat, func() {
 		to.exec(func() {
+			if msg.Type.Valid() {
+				n.tc.recv[msg.Type].Inc()
+				n.tc.recvBits[msg.Type].Add(uint64(msg.SizeBits()))
+			}
 			if n.cfg.Trace != nil {
 				n.cfg.Trace.Record(n.now(), uint64(msg.To), "deliver",
 					fmt.Sprintf("%v from=%d", msg.Type, msg.From))
@@ -328,6 +385,15 @@ func (h *Host) InputRate() float64 {
 	var r float64
 	h.call(func() { r = h.node.InputRate() })
 	return r
+}
+
+// MetricsSnapshot captures the node's protocol instruments (counters,
+// gauges, latency histograms) through the executor, so the snapshot is
+// consistent with a quiescent point in the node's event stream.
+func (h *Host) MetricsSnapshot() metrics.Snapshot {
+	var s metrics.Snapshot
+	h.call(func() { s = h.node.MetricsSnapshot() })
+	return s
 }
 
 // Bootstrap makes this host the first overlay member.

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -170,5 +171,73 @@ func TestDistinctIdentifiers(t *testing.T) {
 	b := n.Spawn("same-name", 0)
 	if a.Self().ID == b.Self().ID {
 		t.Fatal("equal names must still get distinct identifiers")
+	}
+}
+
+// TestNetworkMetricsMatchStats holds the per-type net.* counters to the
+// legacy aggregate Stats: summed over message types, sends must equal
+// Messages, send bits must equal Bits, and drops must equal Dropped.
+func TestNetworkMetricsMatchStats(t *testing.T) {
+	n := NewNetwork(NetworkConfig{
+		Core:     core.DefaultConfig(),
+		Dilation: 100,
+		LossRate: 0.05,
+		Seed:     9,
+	})
+	defer n.Close()
+	buildOverlay(t, n, 6)
+	settle(n, 2*des.Minute)
+
+	s := n.Stats()
+	m := n.Metrics()
+	var sends, bits, drops uint64
+	for name, v := range m.Counters {
+		switch {
+		case strings.HasPrefix(name, "net.send_bits."):
+			bits += v
+		case strings.HasPrefix(name, "net.send."):
+			sends += v
+		case strings.HasPrefix(name, "net.drop."):
+			drops += v
+		}
+	}
+	// Stats counters advance atomically but not in the same instant as
+	// the per-type counters, so snapshot skew of a few in-flight
+	// messages is possible; the totals must agree to within that.
+	if diff := int64(sends) - int64(s.Messages); diff < -5 || diff > 5 {
+		t.Fatalf("summed net.send.* = %d, Stats.Messages = %d", sends, s.Messages)
+	}
+	if s.Messages == 0 || bits == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	if float64(bits) < 0.9*float64(s.Bits) || float64(bits) > 1.1*float64(s.Bits) {
+		t.Fatalf("summed net.send_bits.* = %d, Stats.Bits = %d", bits, s.Bits)
+	}
+	if s.Dropped == 0 {
+		t.Fatal("loss injection recorded no drops")
+	}
+	if diff := int64(drops) - int64(s.Dropped); diff < -5 || diff > 5 {
+		t.Fatalf("summed net.drop.* = %d, Stats.Dropped = %d", drops, s.Dropped)
+	}
+	if got := m.Gauges["net.hosts"]; got != 6 {
+		t.Fatalf("net.hosts = %d, want 6", got)
+	}
+}
+
+// TestHostMetricsSnapshot exercises the per-host instrument surface.
+func TestHostMetricsSnapshot(t *testing.T) {
+	n := testNetwork(10)
+	defer n.Close()
+	hosts := buildOverlay(t, n, 4)
+	settle(n, 2*des.Minute)
+	s := hosts[0].MetricsSnapshot()
+	if got := s.Counters["peers.added"]; got < 3 {
+		t.Fatalf("peers.added = %d, want >= 3", got)
+	}
+	if got := s.Gauges["peer.window_size"]; got != 3 {
+		t.Fatalf("peer.window_size = %d, want 3", got)
+	}
+	if _, ok := s.Histograms["multicast.step_depth"]; !ok {
+		t.Fatal("missing multicast.step_depth histogram")
 	}
 }

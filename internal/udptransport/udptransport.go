@@ -28,7 +28,9 @@ import (
 
 	"peerwindow/internal/core"
 	"peerwindow/internal/des"
+	"peerwindow/internal/metrics"
 	"peerwindow/internal/nodeid"
+	"peerwindow/internal/trace"
 	"peerwindow/internal/wire"
 	"peerwindow/internal/xrand"
 )
@@ -55,6 +57,15 @@ type Node struct {
 	rng *xrand.Source
 
 	sent, received, bulkSends uint64
+
+	// reg holds the socket-level instruments: per-message-type send/recv
+	// counts and bytes, bulk-transfer and garbage-datagram counters.
+	reg                           *metrics.Registry
+	send                          [wire.MsgTopListResp + 1]*metrics.Counter
+	recv                          [wire.MsgTopListResp + 1]*metrics.Counter
+	sendBytes, recvBytes, garbage *metrics.Counter
+
+	ring *trace.Ring
 }
 
 // Listen binds a UDP socket (addr like "127.0.0.1:0") and starts the
@@ -86,7 +97,15 @@ func Listen(addr, name string, budget float64, cfg core.Config) (*Node, error) {
 		inbox: make(chan func(), 1024),
 		quit:  make(chan struct{}),
 		rng:   xrand.New(uint64(local.Port)*2654435761 + 1),
+		reg:   metrics.NewRegistry(),
 	}
+	for t := wire.MsgEvent; t <= wire.MsgTopListResp; t++ {
+		n.send[t] = n.reg.Counter("net.send." + t.String())
+		n.recv[t] = n.reg.Counter("net.recv." + t.String())
+	}
+	n.sendBytes = n.reg.Counter("net.send_bytes")
+	n.recvBytes = n.reg.Counter("net.recv_bytes")
+	n.garbage = n.reg.Counter("net.garbage_datagrams")
 	n.self = wire.Pointer{
 		Addr: wire.AddrFromIPv4(ip, uint16(local.Port)),
 		ID:   nodeid.Hash([]byte(fmt.Sprintf("%s@%s", name, local))),
@@ -136,6 +155,10 @@ func (n *Node) accept() {
 				return
 			}
 			atomic.AddUint64(&n.received, 1)
+			if msg.Type.Valid() {
+				n.recv[msg.Type].Inc()
+			}
+			n.recvBytes.Add(uint64(size))
 			n.exec(func() { n.node.HandleMessage(msg) })
 		}()
 	}
@@ -165,9 +188,14 @@ func (n *Node) read() {
 		}
 		msg, err := wire.Unmarshal(buf[:nr])
 		if err != nil {
+			n.garbage.Inc()
 			continue // garbage datagram
 		}
 		atomic.AddUint64(&n.received, 1)
+		if msg.Type.Valid() {
+			n.recv[msg.Type].Inc()
+		}
+		n.recvBytes.Add(uint64(nr))
 		n.exec(func() { n.node.HandleMessage(msg) })
 	}
 }
@@ -259,6 +287,34 @@ func (n *Node) Counters() (sent, received uint64) {
 // the TCP sidecar (see Send).
 func (n *Node) BulkSends() uint64 { return atomic.LoadUint64(&n.bulkSends) }
 
+// MetricsSnapshot merges the protocol instruments (multicast, probe,
+// level-shift, refresh counters and the detection-latency histogram —
+// read through the executor) with the socket-level per-type counters
+// into one snapshot; the pwnode debug endpoint serves it verbatim.
+func (n *Node) MetricsSnapshot() metrics.Snapshot {
+	var s metrics.Snapshot
+	n.call(func() { s = n.node.MetricsSnapshot() })
+	n.reg.Gauge("net.bulk_sends").Set(int64(n.BulkSends()))
+	s.Merge(n.reg.Snapshot())
+	return s
+}
+
+// EnableTrace attaches a fresh ring of the given capacity to the node:
+// protocol-level moments (probe rounds, detections, shifts, retries) are
+// recorded with timestamps relative to node start. Call it before
+// Bootstrap or Join; it returns the ring for dumping.
+func (n *Node) EnableTrace(capacity int) *trace.Ring {
+	ring := trace.NewRing(capacity)
+	n.call(func() {
+		n.ring = ring
+		n.node.SetTrace(ring)
+	})
+	return ring
+}
+
+// TraceRing returns the ring attached by EnableTrace, or nil.
+func (n *Node) TraceRing() *trace.Ring { return n.ring }
+
 // --- core.Env -------------------------------------------------------------
 
 // Now implements core.Env: real nanoseconds since start.
@@ -274,12 +330,17 @@ func (n *Node) Rand() *xrand.Source { return n.rng }
 // would do them.
 func (n *Node) Send(msg wire.Message) {
 	ip, port := msg.To.IPv4()
+	if msg.Type.Valid() {
+		n.send[msg.Type].Inc()
+	}
 	if len(msg.Pointers) > maxPointersPerDatagram {
 		b := msg.Marshal()
+		n.sendBytes.Add(uint64(len(b)))
 		go n.sendBulk(b, ip, port)
 		return
 	}
 	b := msg.Marshal()
+	n.sendBytes.Add(uint64(len(b)))
 	dst := &net.UDPAddr{IP: net.IPv4(ip[0], ip[1], ip[2], ip[3]), Port: int(port)}
 	if _, err := n.conn.WriteToUDP(b, dst); err == nil {
 		atomic.AddUint64(&n.sent, 1)

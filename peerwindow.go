@@ -32,12 +32,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"peerwindow/internal/core"
 	"peerwindow/internal/des"
+	"peerwindow/internal/metrics"
 	"peerwindow/internal/topology"
 	"peerwindow/internal/trace"
 	"peerwindow/internal/transport"
@@ -113,6 +115,46 @@ func Defaults() Options {
 	}
 }
 
+// minWallAckTimeout is the smallest wall-clock ack timeout Validate
+// accepts. Below roughly a millisecond of real time, goroutine
+// scheduling jitter alone exceeds the timeout and every send looks
+// lost.
+const minWallAckTimeout = time.Millisecond
+
+// Validate reports whether the options describe a runnable overlay.
+// Beyond the per-field range checks it rejects combinations that are
+// individually legal but cannot work together — most importantly an
+// AckTimeout that, after Dilation compresses it onto the wall clock,
+// falls below the scheduler's resolution (AckTimeout/Dilation under
+// about 1 ms of wall time): timers would fire before the network
+// round-trip completes and the overlay would retry itself to death.
+func (o Options) Validate() error {
+	switch {
+	case o.Dilation < 0:
+		return fmt.Errorf("peerwindow: Dilation = %g (must be >= 0; 0 means real time)", o.Dilation)
+	case o.Latency < 0:
+		return fmt.Errorf("peerwindow: Latency = %v", o.Latency)
+	case o.LossRate < 0 || o.LossRate >= 1:
+		return fmt.Errorf("peerwindow: LossRate = %g (need 0 <= rate < 1)", o.LossRate)
+	case o.TraceCapacity < 0:
+		return fmt.Errorf("peerwindow: TraceCapacity = %d", o.TraceCapacity)
+	}
+	if dil := o.Dilation; dil > 1 {
+		if wall := time.Duration(float64(o.AckTimeout) / dil); wall < minWallAckTimeout {
+			return fmt.Errorf("peerwindow: AckTimeout %v / Dilation %g = %v of wall time, below the %v scheduler floor",
+				o.AckTimeout, dil, wall, minWallAckTimeout)
+		}
+		if wall := time.Duration(float64(o.ProbeTimeout) / dil); wall < minWallAckTimeout {
+			return fmt.Errorf("peerwindow: ProbeTimeout %v / Dilation %g = %v of wall time, below the %v scheduler floor",
+				o.ProbeTimeout, dil, wall, minWallAckTimeout)
+		}
+	}
+	if err := o.toCore().Validate(); err != nil {
+		return fmt.Errorf("peerwindow: %w", err)
+	}
+	return nil
+}
+
 // toCore translates the public options into the engine configuration.
 func (o Options) toCore() core.Config {
 	cfg := core.DefaultConfig()
@@ -142,9 +184,23 @@ type Overlay struct {
 	rng   *xrand.Source
 }
 
-// New builds an overlay. It panics on invalid options (they are
-// programmer errors, not runtime conditions).
+// New builds an overlay, panicking on invalid options.
+//
+// Deprecated: use NewOverlay, which validates the options and returns
+// an error instead of panicking.
 func New(o Options) *Overlay {
+	ov, err := NewOverlay(o)
+	if err != nil {
+		panic(err)
+	}
+	return ov
+}
+
+// NewOverlay validates o (see Options.Validate) and builds an overlay.
+func NewOverlay(o Options) (*Overlay, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	var topo *topology.Network
 	rng := xrand.New(o.Seed)
 	if o.TransitStub {
@@ -173,7 +229,7 @@ func New(o Options) *Overlay {
 		ring:     ring,
 		peers:    make(map[string]*Peer),
 		rng:      rng.Split(2),
-	}
+	}, nil
 }
 
 // DumpTrace writes the retained network trace (if Options.TraceCapacity
@@ -207,25 +263,67 @@ type Change struct {
 // inside (hand work to your own goroutine instead).
 type Watcher func(Change)
 
-// Spawn starts a peer with the overlay's default budget. The first peer
-// bootstraps a fresh overlay; later peers join through a random live
-// peer (the §4.3 process). It blocks until the join completes.
-func (o *Overlay) Spawn(name string) (*Peer, error) {
-	return o.spawn(name, 0, nil)
+// SpawnOption customizes one Spawn call. Options compose; later ones
+// win on conflict.
+type SpawnOption func(*spawnConfig)
+
+// spawnConfig collects the effects of SpawnOptions.
+type spawnConfig struct {
+	budget  float64
+	watcher Watcher
+	info    []byte
 }
 
-// SpawnBudget is Spawn with an explicit collection budget in bit/s —
-// the heterogeneity knob.
+// WithBudget sets the peer's collection budget in bit/s — the
+// heterogeneity knob of §2. Zero or negative keeps the overlay's
+// default.
+func WithBudget(bitsPerSec float64) SpawnOption {
+	return func(c *spawnConfig) { c.budget = bitsPerSec }
+}
+
+// WithWatcher registers a Watcher for the peer's window changes.
+func WithWatcher(w Watcher) SpawnOption {
+	return func(c *spawnConfig) { c.watcher = w }
+}
+
+// WithInfo attaches application info to the peer's pointer before it
+// joins, so every window that ever holds the pointer sees the info from
+// the start (§3). At most MaxInfoLen bytes.
+func WithInfo(info []byte) SpawnOption {
+	return func(c *spawnConfig) { c.info = append([]byte(nil), info...) }
+}
+
+// Spawn starts a peer. The first peer bootstraps a fresh overlay; later
+// peers join through a random live peer (the §4.3 process). It blocks
+// until the join completes. Options tune the peer:
+//
+//	ov.Spawn("alice", peerwindow.WithBudget(20000), peerwindow.WithInfo([]byte("os=linux")))
+func (o *Overlay) Spawn(name string, opts ...SpawnOption) (*Peer, error) {
+	var c spawnConfig
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return o.spawn(name, c)
+}
+
+// SpawnBudget is Spawn with an explicit collection budget in bit/s.
+//
+// Deprecated: use Spawn with WithBudget.
 func (o *Overlay) SpawnBudget(name string, budget float64) (*Peer, error) {
-	return o.spawn(name, budget, nil)
+	return o.Spawn(name, WithBudget(budget))
 }
 
-// SpawnWatched is Spawn with a Watcher for window changes.
+// SpawnWatched is Spawn with a budget and a Watcher for window changes.
+//
+// Deprecated: use Spawn with WithBudget and WithWatcher.
 func (o *Overlay) SpawnWatched(name string, budget float64, w Watcher) (*Peer, error) {
-	return o.spawn(name, budget, w)
+	return o.Spawn(name, WithBudget(budget), WithWatcher(w))
 }
 
-func (o *Overlay) spawn(name string, budget float64, w Watcher) (*Peer, error) {
+func (o *Overlay) spawn(name string, c spawnConfig) (*Peer, error) {
+	if len(c.info) > MaxInfoLen {
+		return nil, fmt.Errorf("peerwindow: %q: info %d bytes exceeds %d", name, len(c.info), MaxInfoLen)
+	}
 	o.mu.Lock()
 	if _, dup := o.peers[name]; dup {
 		o.mu.Unlock()
@@ -247,7 +345,7 @@ func (o *Overlay) spawn(name string, budget float64, w Watcher) (*Peer, error) {
 	o.mu.Unlock()
 
 	var obs core.Observer
-	if w != nil {
+	if w := c.watcher; w != nil {
 		obs = core.Observer{
 			PeerAdded: func(q wire.Pointer) {
 				w(Change{Added: true, Pointer: toPublic(q)})
@@ -257,7 +355,12 @@ func (o *Overlay) spawn(name string, budget float64, w Watcher) (*Peer, error) {
 			},
 		}
 	}
-	h := o.net.SpawnObserved(name, budget, obs)
+	h := o.net.SpawnObserved(name, c.budget, obs)
+	if len(c.info) > 0 {
+		// Before Bootstrap/Join, so the pointer carries the info from its
+		// first announcement on.
+		h.SetInfo(c.info)
+	}
 	p := &Peer{name: name, host: h, overlay: o}
 	if boot == nil {
 		h.Bootstrap()
@@ -295,6 +398,9 @@ func (o *Overlay) Peers() []*Peer {
 
 // Stats reports the overlay's traffic totals: messages and bits offered
 // to the network, losses injected, and the live peer count.
+//
+// Deprecated: use Overlay.Metrics, which carries the same totals broken
+// down per message type plus the full protocol instrument set.
 type Stats struct {
 	Messages uint64
 	Bits     uint64
@@ -303,9 +409,76 @@ type Stats struct {
 }
 
 // Stats returns a snapshot of the overlay's traffic counters.
+//
+// Deprecated: use Overlay.Metrics.
 func (o *Overlay) Stats() Stats {
 	s := o.net.Stats()
 	return Stats{Messages: s.Messages, Bits: s.Bits, Dropped: s.Dropped, Peers: s.Hosts}
+}
+
+// Histogram is one latency/size distribution inside a MetricsSnapshot.
+type Histogram struct {
+	// Bounds are the bucket upper bounds; Counts has one extra trailing
+	// entry for observations above the last bound.
+	Bounds []float64
+	Counts []uint64
+	// Count and Sum cover every observation, including overflows.
+	Count uint64
+	Sum   float64
+}
+
+// Mean returns the average observed value, or 0 with no observations.
+func (h Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// MetricsSnapshot is a point-in-time view of named instruments: counter
+// totals, gauge values, and histograms. Names are dotted and stable —
+// docs/OBSERVABILITY.md lists them all with their semantics.
+type MetricsSnapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]Histogram
+}
+
+// Counter returns a counter's value (0 when absent).
+func (m MetricsSnapshot) Counter(name string) uint64 { return m.Counters[name] }
+
+// Gauge returns a gauge's value (0 when absent).
+func (m MetricsSnapshot) Gauge(name string) int64 { return m.Gauges[name] }
+
+// toPublicMetrics converts the internal snapshot form.
+func toPublicMetrics(s metrics.Snapshot) MetricsSnapshot {
+	out := MetricsSnapshot{
+		Counters:   s.Counters,
+		Gauges:     s.Gauges,
+		Histograms: make(map[string]Histogram, len(s.Histograms)),
+	}
+	for name, h := range s.Histograms {
+		out.Histograms[name] = Histogram{
+			Bounds: h.Bounds,
+			Counts: h.Counts,
+			Count:  h.Count,
+			Sum:    h.Sum,
+		}
+	}
+	return out
+}
+
+// Metrics returns the overlay-wide instrument snapshot: the network's
+// per-message-type send/recv/drop counts and bits, merged with the sum
+// of every live peer's protocol instruments. Counters and histogram
+// buckets add across peers; gauges add too (so peer.window_size is the
+// total pointer count held across the overlay).
+func (o *Overlay) Metrics() MetricsSnapshot {
+	s := o.net.Metrics()
+	for _, p := range o.Peers() {
+		s.Merge(p.host.MetricsSnapshot())
+	}
+	return toPublicMetrics(s)
 }
 
 // Settle sleeps for the given virtual duration — convenience for demos
@@ -335,6 +508,15 @@ func (p *Peer) Level() int { return p.host.Level() }
 // InputRate returns the measured maintenance bandwidth in bit/s of
 // virtual time.
 func (p *Peer) InputRate() float64 { return p.host.InputRate() }
+
+// Metrics returns this peer's protocol instrument snapshot: multicast
+// fan-out and delivery counters, ack retries, probe rounds and the
+// failure-detection latency histogram, level shifts, refresh activity,
+// and the peer.* gauges (level, window size, measured rates). Names and
+// semantics are listed in docs/OBSERVABILITY.md.
+func (p *Peer) Metrics() MetricsSnapshot {
+	return toPublicMetrics(p.host.MetricsSnapshot())
+}
 
 // SetInfo attaches application info to the peer's pointer and announces
 // the change to every window holding it (§3). Info must be at most 255
@@ -429,12 +611,7 @@ func (w Window) InfoContains(substr string) Window {
 // "looking at the level value for powerful nodes" (§3).
 func (w Window) Strongest(k int) Window {
 	out := append(Window(nil), w...)
-	// Selection by level; stable enough with a simple sort.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].Level < out[j-1].Level; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Level < out[j].Level })
 	if k < len(out) {
 		out = out[:k]
 	}

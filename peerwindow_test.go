@@ -284,3 +284,168 @@ func TestSpawnWatchedSeesChanges(t *testing.T) {
 		t.Fatalf("watcher missed the leave removal: %+v", changes)
 	}
 }
+
+func TestNewOverlayValidates(t *testing.T) {
+	if _, err := NewOverlay(testOptions(70)); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+
+	bad := testOptions(71)
+	bad.TopListSize = 0
+	if _, err := NewOverlay(bad); err == nil {
+		t.Fatal("TopListSize=0 accepted")
+	}
+
+	bad = testOptions(72)
+	bad.LossRate = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("LossRate=1.5 accepted")
+	}
+
+	// AckTimeout that dilates below the wall-clock scheduler floor: 3 s
+	// of virtual time at 10000× is 0.3 ms of wall time.
+	bad = testOptions(73)
+	bad.Dilation = 10000
+	if err := bad.Validate(); err == nil {
+		t.Fatal("sub-millisecond wall AckTimeout accepted")
+	}
+	if !strings.Contains(bad.Validate().Error(), "wall time") {
+		t.Fatalf("unhelpful error: %v", bad.Validate())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New did not panic on invalid options")
+		}
+	}()
+	New(bad)
+}
+
+func TestSpawnOptions(t *testing.T) {
+	ov, err := NewOverlay(testOptions(74))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ov.Close()
+
+	var mu sync.Mutex
+	var adds int
+	if _, err := ov.Spawn("first",
+		WithBudget(2e9),
+		WithInfo([]byte("role=seed")),
+		WithWatcher(func(c Change) {
+			mu.Lock()
+			if c.Added {
+				adds++
+			}
+			mu.Unlock()
+		}),
+	); err != nil {
+		t.Fatal(err)
+	}
+	ov.Settle(20 * time.Second)
+	second, err := ov.Spawn("second")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov.Settle(time.Minute)
+
+	// WithInfo applied before the join, so second's window already
+	// carries it without a separate info-change announcement.
+	got := second.Window().InfoContains("role=seed")
+	if len(got) != 1 {
+		t.Fatalf("second sees %d pointers with role=seed, want 1", len(got))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if adds == 0 {
+		t.Fatal("WithWatcher saw no additions")
+	}
+}
+
+func TestSpawnRejectsOversizedInfo(t *testing.T) {
+	ov, err := NewOverlay(testOptions(75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ov.Close()
+	if _, err := ov.Spawn("big", WithInfo(make([]byte, MaxInfoLen+1))); err == nil {
+		t.Fatal("oversized info accepted")
+	}
+}
+
+func TestPeerAndOverlayMetrics(t *testing.T) {
+	ov, err := NewOverlay(testOptions(76))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ov.Close()
+	peers := buildPeers(t, ov, "m1", "m2", "m3")
+	ov.Settle(2 * time.Minute)
+
+	m := peers[0].Metrics()
+	if got := m.Counter("peers.added"); got < 2 {
+		t.Fatalf("m1 peers.added = %d, want >= 2", got)
+	}
+	if got := m.Gauge("peer.window_size"); got != 2 {
+		t.Fatalf("m1 peer.window_size = %d, want 2", got)
+	}
+	// The issue's acceptance bar: at least 10 distinct instruments per
+	// peer, always present even at zero.
+	if total := len(m.Counters) + len(m.Gauges) + len(m.Histograms); total < 10 {
+		t.Fatalf("peer snapshot has %d instruments, want >= 10", total)
+	}
+	if _, ok := m.Histograms["probe.detect_latency_seconds"]; !ok {
+		t.Fatal("peer snapshot missing probe.detect_latency_seconds histogram")
+	}
+
+	om := ov.Metrics()
+	// Network-level instruments only exist overlay-wide.
+	var sent uint64
+	for name, v := range om.Counters {
+		if strings.HasPrefix(name, "net.send.") {
+			sent += v
+		}
+	}
+	if sent == 0 {
+		t.Fatal("overlay metrics report no sends")
+	}
+	if got := om.Gauge("net.hosts"); got != 3 {
+		t.Fatalf("net.hosts = %d, want 3", got)
+	}
+	// Gauges add across peers: 3 windows of 2 pointers each.
+	if got := om.Gauge("peer.window_size"); got != 6 {
+		t.Fatalf("summed peer.window_size = %d, want 6", got)
+	}
+	// Consistency with the deprecated Stats surface.
+	if s := ov.Stats(); s.Peers != 3 {
+		t.Fatalf("Stats().Peers = %d, want 3", s.Peers)
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := Histogram{Count: 4, Sum: 10}
+	if got := h.Mean(); got != 2.5 {
+		t.Fatalf("Mean = %g, want 2.5", got)
+	}
+	if got := (Histogram{}).Mean(); got != 0 {
+		t.Fatalf("empty Mean = %g, want 0", got)
+	}
+}
+
+func TestStrongestSortedStable(t *testing.T) {
+	w := Window{
+		{ID: "d", Level: 3}, {ID: "a", Level: 1}, {ID: "c", Level: 1},
+		{ID: "b", Level: 0}, {ID: "e", Level: 2},
+	}
+	got := w.Strongest(3)
+	want := []string{"b", "a", "c"} // level order, ties in input order
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("Strongest[%d] = %q, want %q (full: %+v)", i, got[i].ID, id, got)
+		}
+	}
+	if len(w.Strongest(100)) != len(w) {
+		t.Fatal("Strongest(k>len) should return everything")
+	}
+}
