@@ -16,6 +16,7 @@ import (
 //	/metrics       Prometheus text exposition of every instrument
 //	/debug/window  the current window as JSON
 //	/debug/trace   the retained event ring, newest last, as plain text
+//	/debug/spans   the retained causal spans as JSONL (pipe to pwtrace)
 //
 // The endpoints read through the node's executor, so they are safe to
 // scrape while the protocol runs; they are meant for localhost
@@ -24,6 +25,11 @@ import (
 // debugTraceCapacity is the event ring retained for /debug/trace when
 // the debug server is enabled.
 const debugTraceCapacity = 4096
+
+// debugSpanCapacity bounds the span buffer behind /debug/spans. Spans
+// only accrue for traced multicasts touching this node, so the buffer
+// covers a long window of activity.
+const debugSpanCapacity = 8192
 
 // pointerJSON is one window entry in /debug/window output.
 type pointerJSON struct {
@@ -57,6 +63,7 @@ func startDebugServer(addr, name string, n *udptransport.Node) (net.Listener, er
 		return nil, fmt.Errorf("pwnode: debug server: %w", err)
 	}
 	n.EnableTrace(debugTraceCapacity)
+	n.EnableSpans(debugSpanCapacity)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -94,6 +101,16 @@ func startDebugServer(addr, name string, n *udptransport.Node) (net.Listener, er
 		}
 		fmt.Fprintf(w, "# %d events recorded, newest last\n", ring.Total())
 		ring.Dump(w)
+	})
+
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		buf := n.Spans()
+		if buf == nil {
+			http.Error(w, "span buffer not enabled", http.StatusNotFound)
+			return
+		}
+		buf.WriteJSONL(w)
 	})
 
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}

@@ -21,6 +21,7 @@ import (
 	"peerwindow/internal/des"
 	"peerwindow/internal/metrics"
 	"peerwindow/internal/sim"
+	"peerwindow/internal/trace"
 	"peerwindow/internal/wire"
 	"peerwindow/internal/workload"
 )
@@ -35,6 +36,7 @@ func main() {
 		rate       = flag.Float64("rate", 1.0, "Lifetime_Rate for the common experiment")
 		scalesFlag = flag.String("scales", "5000,10000,20000,50000,100000", "scales for fig9/fig10")
 		ratesFlag  = flag.String("rates", "0.1,0.2,0.5,1,2,5,10", "lifetime rates for fig11/fig12")
+		spansFile  = flag.String("spans", "", "write causal-span JSONL here (mcast experiment; feed to pwtrace)")
 	)
 	flag.Parse()
 
@@ -75,7 +77,7 @@ func main() {
 	case "intro":
 		fmt.Println(introTable().Render())
 	case "mcast":
-		fmt.Println(mcastTable(*n, *seed).Render())
+		fmt.Println(mcastTable(*n, *seed, *spansFile).Render())
 	case "fullcommon":
 		fn := *n
 		if fn > 1500 {
@@ -107,7 +109,7 @@ func main() {
 		if mn > 64 {
 			mn = 64
 		}
-		fmt.Println(mcastTable(mn, *seed).Render())
+		fmt.Println(mcastTable(mn, *seed, *spansFile).Render())
 		fmt.Println(sim.DelayTable(sim.MeasureMulticastDelay(96, 5, *seed)).Render())
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
@@ -178,8 +180,10 @@ func introTable() *metrics.Table {
 }
 
 // mcastTable measures the §4.2 multicast properties on a full-fidelity
-// cluster: coverage, step counts, out-degrees.
-func mcastTable(n int, seed uint64) *metrics.Table {
+// cluster: coverage, step counts, out-degrees. When spansFile is set,
+// causal spans for the measured multicast are exported as JSONL for
+// pwtrace.
+func mcastTable(n int, seed uint64, spansFile string) *metrics.Table {
 	if n < 8 {
 		n = 8
 	}
@@ -205,9 +209,28 @@ func mcastTable(n int, seed uint64) *metrics.Table {
 		before[sn] = sn.Delivered
 	}
 	evBefore := c.SentByType[wire.MsgEvent]
+	var collector *sim.TraceCollector
+	if spansFile != "" {
+		collector = c.EnableSpanCollection(64 * n)
+	}
 	subject := c.Alive()[0]
 	subject.Node.SetInfo([]byte("probe"))
 	c.Run(2 * des.Minute)
+	if collector != nil {
+		f, err := os.Create(spansFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spans: %v\n", err)
+			os.Exit(1)
+		}
+		werr := trace.WriteSpans(f, collector.Snapshot())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "spans: %v\n", werr)
+			os.Exit(1)
+		}
+	}
 
 	delivered, maxStep := 0, 0
 	var maxOut uint64

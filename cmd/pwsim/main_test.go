@@ -15,7 +15,7 @@ func TestIntroTableContents(t *testing.T) {
 }
 
 func TestMcastTableProperties(t *testing.T) {
-	out := mcastTable(24, 3).Render()
+	out := mcastTable(24, 3, "").Render()
 	for _, want := range []string{"audience reached", "23/23", "root out-degree"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("mcast table missing %q:\n%s", want, out)

@@ -1,0 +1,171 @@
+// Command pwtrace reads a causal-span JSONL stream (pwsim -spans, or a
+// pwnode /debug/spans scrape), reconstructs each traced multicast tree,
+// and reports the paper's §4.2 structural claims per event and in
+// aggregate: tree depth ≈ log₂N, root out-degree ≈ log₂N, redundancy
+// r = 1, and exact audience coverage.
+//
+//	pwsim -experiment mcast -n 128 -spans spans.jsonl
+//	pwtrace spans.jsonl
+//	curl -s localhost:6060/debug/spans | pwtrace -trees 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"peerwindow/internal/des"
+	"peerwindow/internal/trace"
+)
+
+func main() {
+	var (
+		treeLimit = flag.Int("trees", 20, "per-event summaries to print (0 = none, -1 = all)")
+		minNodes  = flag.Int("min-nodes", 1, "skip trees with fewer delivered nodes")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pwtrace [flags] [spans.jsonl ...]\n")
+		fmt.Fprintf(os.Stderr, "reads span JSONL from the named files (or stdin) and prints multicast-tree summaries\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	spans, err := readAll(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pwtrace: %v\n", err)
+		os.Exit(1)
+	}
+	trees := trace.BuildTrees(spans)
+	kept := trees[:0]
+	for _, t := range trees {
+		if len(t.Delivered) >= *minNodes {
+			kept = append(kept, t)
+		}
+	}
+	trees = kept
+
+	if *treeLimit != 0 {
+		printTrees(trees, *treeLimit)
+	}
+	printAggregate(spans, trees)
+}
+
+// readAll concatenates the span streams of every named file, or stdin
+// when no files are given.
+func readAll(paths []string) ([]trace.Span, error) {
+	if len(paths) == 0 {
+		return trace.ReadSpans(os.Stdin)
+	}
+	var all []trace.Span
+	for _, p := range paths {
+		var r io.ReadCloser
+		var err error
+		if p == "-" {
+			r = os.Stdin
+		} else {
+			r, err = os.Open(p)
+			if err != nil {
+				return nil, err
+			}
+		}
+		spans, err := trace.ReadSpans(r)
+		if p != "-" {
+			r.Close()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		all = append(all, spans...)
+	}
+	return all, nil
+}
+
+func printTrees(trees []*trace.Tree, limit int) {
+	n := len(trees)
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	fmt.Printf("%-34s %-12s %6s %6s %6s %8s %7s %6s %6s\n",
+		"trace", "event", "nodes", "depth", "rootod", "redund", "dups", "redir", "drops")
+	for _, t := range trees[:n] {
+		fmt.Printf("%-34s %-12s %6d %6d %6d %8.3f %7d %6d %6d\n",
+			shortTrace(t.Trace.String()), t.EventKind.String(),
+			len(t.Delivered), t.Depth(), t.RootOutDegree(),
+			t.Redundancy(), t.Duplicates, t.Redirects, t.Drops)
+	}
+	if n < len(trees) {
+		fmt.Printf("... and %d more trees (raise -trees)\n", len(trees)-n)
+	}
+	fmt.Println()
+}
+
+// shortTrace compresses the 32-hex origin to a readable prefix, keeping
+// the per-origin sequence intact.
+func shortTrace(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '#' {
+			if i > 12 {
+				return s[:12] + ".." + s[i:]
+			}
+			return s
+		}
+	}
+	return s
+}
+
+func printAggregate(spans []trace.Span, trees []*trace.Tree) {
+	st := trace.Aggregate(trees)
+	fmt.Printf("trees: %d  (from %d spans)\n", st.Trees, len(spans))
+	if st.Trees == 0 {
+		return
+	}
+	fmt.Printf("mean delivered: %.1f nodes  (log2 N = %.2f)\n", st.MeanDelivered, st.Log2N())
+	fmt.Printf("depth:          mean %.2f  max %d\n", st.MeanDepth, st.MaxDepth)
+	fmt.Printf("root out-deg:   mean %.2f  max %d\n", st.MeanRootOut, st.MaxRootOut)
+	fmt.Printf("redundancy:     mean %.3f  (paper: r = 1)\n", st.MeanRedundancy)
+	fmt.Printf("redirects: %d  drops: %d\n", st.TotalRedirects, st.TotalDrops)
+	fmt.Printf("depth histogram:    %s\n", histogram(trees, func(t *trace.Tree) int { return t.Depth() }))
+	fmt.Printf("root-out histogram: %s\n", histogram(trees, func(t *trace.Tree) int { return t.RootOutDegree() }))
+	if span := timeSpan(trees); span > 0 {
+		fmt.Printf("window: %.3fs of virtual time\n", float64(span)/float64(des.Second))
+	}
+}
+
+// histogram renders "value:count" pairs in ascending value order.
+func histogram(trees []*trace.Tree, f func(*trace.Tree) int) string {
+	counts := make(map[int]int)
+	for _, t := range trees {
+		counts[f(t)]++
+	}
+	keys := make([]int, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += "  "
+		}
+		out += fmt.Sprintf("%d:%d", k, counts[k])
+	}
+	return out
+}
+
+func timeSpan(trees []*trace.Tree) des.Time {
+	if len(trees) == 0 {
+		return 0
+	}
+	lo, hi := trees[0].Start, trees[0].End
+	for _, t := range trees[1:] {
+		if t.Start < lo {
+			lo = t.Start
+		}
+		if t.End > hi {
+			hi = t.End
+		}
+	}
+	return hi - lo
+}

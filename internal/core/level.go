@@ -174,7 +174,7 @@ func (n *Node) joinStep4(top wire.Pointer, done func(error)) {
 	}
 	n.seq++
 	ev := wire.Event{Kind: wire.EventJoin, Subject: n.self, Seq: n.seq}
-	msg := wire.Message{Type: wire.MsgReport, To: top.Addr, Event: ev}
+	msg := wire.Message{Type: wire.MsgReport, To: top.Addr, Event: ev, Trace: n.newTrace()}
 	n.sendReliable(msg, n.cfg.RetryAttempts,
 		func(wire.Message) {
 			n.joined = true

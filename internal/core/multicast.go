@@ -2,6 +2,7 @@ package core
 
 import (
 	"peerwindow/internal/nodeid"
+	"peerwindow/internal/trace"
 	"peerwindow/internal/wire"
 )
 
@@ -28,47 +29,56 @@ import (
 func (n *Node) handleEvent(m wire.Message) {
 	// Ack unconditionally — the sender only needs to know we are alive.
 	n.send(wire.Message{Type: wire.MsgAck, To: m.From, AckID: m.AckID})
+	n.span(m.Trace, trace.SpanReceive, m.From, 0, int(m.Step), m.Event)
 	if !n.applyEvent(m.Event) {
 		n.m.mcDuplicates.Inc()
+		n.span(m.Trace, trace.SpanDuplicate, m.From, 0, int(m.Step), m.Event)
 		return // duplicate; the tree below us was already covered
 	}
 	n.m.mcDelivered.Inc()
 	n.m.mcStepDepth.Observe(float64(m.Step))
+	n.span(m.Trace, trace.SpanDeliver, m.From, 0, int(m.Step), m.Event)
 	if n.obs.EventDelivered != nil {
 		n.obs.EventDelivered(m.Event, int(m.Step))
 	}
 	// The paper charges each hop 1 s of processing before it re-sends
 	// (§5.1); model that as a single delay before all forwards.
-	ev, step := m.Event, int(m.Step)
+	ev, step, tid := m.Event, int(m.Step), m.Trace
 	if n.cfg.ForwardDelay > 0 {
 		n.env.SetTimer(n.cfg.ForwardDelay, func() {
-			n.forwardEvent(ev, step)
+			n.forwardEvent(ev, step, tid)
 		})
 	} else {
-		n.forwardEvent(ev, step)
+		n.forwardEvent(ev, step, tid)
 	}
 }
 
 // originateMulticast starts the tree at this node, which has just applied
 // the event (top-node path, §2). A top node of a split part at level L
-// starts at step L: no stronger nodes exist in its part.
-func (n *Node) originateMulticast(ev wire.Event) {
+// starts at step L: no stronger nodes exist in its part. tid is the trace
+// context the report carried; an unstamped report gets a fresh ID here
+// (when a sink is attached) so the whole tree is attributable.
+func (n *Node) originateMulticast(ev wire.Event, tid wire.TraceID) {
 	n.m.mcOriginated.Inc()
 	n.tracef("mc-origin", "%v subject=%s seq=%d", ev.Kind, ev.Subject.ID, ev.Seq)
+	if tid.IsZero() {
+		tid = n.newTrace()
+	}
+	n.span(tid, trace.SpanOrigin, 0, 0, int(n.self.Level), ev)
 	if n.obs.EventOriginated != nil {
 		n.obs.EventOriginated(ev)
 	}
-	n.forwardEvent(ev, int(n.self.Level))
+	n.forwardEvent(ev, int(n.self.Level), tid)
 }
 
 // forwardEvent continues the dissemination: the §4.2 tree by default,
 // or the §2 level-gossip sketch when configured (the ablation variant).
-func (n *Node) forwardEvent(ev wire.Event, fromStep int) {
+func (n *Node) forwardEvent(ev wire.Event, fromStep int, tid wire.TraceID) {
 	if n.stopped {
 		return
 	}
 	if n.cfg.GossipMulticast {
-		n.forwardEventGossip(ev)
+		n.forwardEventGossip(ev, tid)
 		return
 	}
 	for s := fromStep; s < nodeid.Bits; s++ {
@@ -77,7 +87,7 @@ func (n *Node) forwardEvent(ev wire.Event, fromStep int) {
 		if n.peers.CountInPrefix(nodeid.EigenstringOf(n.self.ID, s)) == 0 {
 			return
 		}
-		n.sendStep(ev, s, nil)
+		n.sendStep(ev, s, tid, nil)
 	}
 }
 
@@ -88,7 +98,7 @@ func (n *Node) forwardEvent(ev wire.Event, fromStep int) {
 // at the receiver's dedup, which is what terminates the rumor. Expected
 // cost is a redundancy factor of roughly the fanout over the tree's
 // r = 1 — the trade the paper declines.
-func (n *Node) forwardEventGossip(ev wire.Event) {
+func (n *Node) forwardEventGossip(ev wire.Event, tid wire.TraceID) {
 	subject := ev.Subject.ID
 	// Downward handoff happens once, on first receipt: one member per
 	// deeper level, if any.
@@ -102,17 +112,17 @@ func (n *Node) forwardEventGossip(ev wire.Event) {
 		sub := nodeid.EigenstringOf(subject, minInt(l, nodeid.Bits))
 		picks := n.peers.RandomInPrefix(sub, 1, deeper, nil, rng)
 		if len(picks) == 1 {
-			n.sendGossipCopy(ev, picks[0])
+			n.sendGossipCopy(ev, picks[0], tid)
 		}
 	}
 	// Intra-level rumor mongering: GossipRounds rounds of GossipFanout
 	// pushes, one ForwardDelay (or ack timeout) apart.
-	n.gossipRound(ev, n.cfg.GossipRounds)
+	n.gossipRound(ev, n.cfg.GossipRounds, tid)
 }
 
 // gossipRound pushes one round of intra-level copies and schedules the
 // next.
-func (n *Node) gossipRound(ev wire.Event, remaining int) {
+func (n *Node) gossipRound(ev wire.Event, remaining int, tid wire.TraceID) {
 	if n.stopped || remaining <= 0 {
 		return
 	}
@@ -124,23 +134,24 @@ func (n *Node) gossipRound(ev wire.Event, remaining int) {
 	}
 	region := nodeid.EigenstringOf(subject, minInt(n.Level(), nodeid.Bits))
 	for _, target := range n.peers.RandomInPrefix(region, n.cfg.GossipFanout, sameLevel, nil, rng) {
-		n.sendGossipCopy(ev, target)
+		n.sendGossipCopy(ev, target, tid)
 	}
 	gap := n.cfg.ForwardDelay
 	if gap <= 0 {
 		gap = n.cfg.AckTimeout
 	}
-	n.env.SetTimer(gap, func() { n.gossipRound(ev, remaining-1) })
+	n.env.SetTimer(gap, func() { n.gossipRound(ev, remaining-1, tid) })
 }
 
 // sendGossipCopy transmits one gossip push; failures just drop the stale
 // pointer (other copies provide the redundancy a tree lacks).
-func (n *Node) sendGossipCopy(ev wire.Event, target wire.Pointer) {
+func (n *Node) sendGossipCopy(ev wire.Event, target wire.Pointer, tid wire.TraceID) {
 	if target.ID == n.self.ID {
 		return
 	}
-	msg := wire.Message{Type: wire.MsgEvent, To: target.Addr, Step: 0, Event: ev}
+	msg := wire.Message{Type: wire.MsgEvent, To: target.Addr, Step: 0, Event: ev, Trace: tid}
 	n.m.mcForwards.Inc()
+	n.span(tid, trace.SpanForward, 0, target.Addr, 0, ev)
 	n.sendReliable(msg, n.cfg.RetryAttempts, nil, func() {
 		if e, had := n.peers.Remove(target.ID); had {
 			n.m.removed(RemoveStale)
@@ -161,7 +172,7 @@ func minInt(a, b int) int {
 // sendStep picks the strongest candidate for step s (excluding already
 // failed targets) and forwards the event reliably; on failure it drops
 // the stale pointer and redirects.
-func (n *Node) sendStep(ev wire.Event, s int, failed map[nodeid.ID]bool) {
+func (n *Node) sendStep(ev wire.Event, s int, tid wire.TraceID, failed map[nodeid.ID]bool) {
 	target, ok := n.peers.StrongestForStep(n.self.ID, s, ev.Subject.ID, failed, n.env.Rand())
 	if !ok {
 		return // no (remaining) candidate at this step
@@ -171,13 +182,16 @@ func (n *Node) sendStep(ev wire.Event, s int, failed map[nodeid.ID]bool) {
 		To:    target.Addr,
 		Step:  uint8(s + 1),
 		Event: ev,
+		Trace: tid,
 	}
 	n.m.mcForwards.Inc()
+	n.span(tid, trace.SpanForward, 0, target.Addr, s+1, ev)
 	n.sendReliable(msg, n.cfg.RetryAttempts, nil, func() {
 		// §4.2: no response after the attempt budget — remove the stale
 		// pointer and redirect to a new target for the same step.
 		n.m.mcRedirects.Inc()
 		n.tracef("mc-redirect", "step=%d stale=%s", s, target.ID)
+		n.span(tid, trace.SpanRedirect, 0, target.Addr, s+1, ev)
 		if e, had := n.peers.Remove(target.ID); had {
 			n.m.removed(RemoveStale)
 			if n.obs.PeerRemoved != nil {
@@ -196,7 +210,7 @@ func (n *Node) sendStep(ev wire.Event, s int, failed map[nodeid.ID]bool) {
 			failed = make(map[nodeid.ID]bool)
 		}
 		failed[target.ID] = true
-		n.sendStep(ev, s, failed)
+		n.sendStep(ev, s, tid, failed)
 	})
 }
 
@@ -239,7 +253,7 @@ func (n *Node) verifyFailure(target wire.Pointer) {
 				Subject: target,
 				Seq:     n.seen[target.ID] + 1,
 			}
-			n.report(leave)
+			n.report(leave, n.newTrace())
 		},
 	)
 }

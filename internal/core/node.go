@@ -70,6 +70,11 @@ type Node struct {
 	m         nodeMetrics
 	traceRing *trace.Ring
 
+	// spans, when set, receives causal spans for traced events; traceSeq
+	// numbers the trace IDs this node stamps (see span.go).
+	spans    trace.SpanSink
+	traceSeq uint64
+
 	shiftTimer   Timer
 	refreshTimer Timer
 
@@ -238,7 +243,7 @@ func (n *Node) Leave() {
 	}
 	n.seq++
 	ev := wire.Event{Kind: wire.EventLeave, Subject: n.self, Seq: n.seq}
-	n.report(ev)
+	n.report(ev, n.newTrace())
 	n.Stop()
 }
 
@@ -289,7 +294,7 @@ func (n *Node) SetInfo(info []byte) {
 		return
 	}
 	n.seq++
-	n.report(wire.Event{Kind: wire.EventInfoChange, Subject: n.self, Seq: n.seq})
+	n.report(wire.Event{Kind: wire.EventInfoChange, Subject: n.self, Seq: n.seq}, n.newTrace())
 }
 
 // HandleMessage processes one incoming message. The Env must call it

@@ -116,7 +116,7 @@ func (n *Node) onProbeTimeout(target wire.Pointer) {
 		}
 		seq := n.seen[target.ID] + 1
 		ev := wire.Event{Kind: wire.EventLeave, Subject: target, Seq: seq}
-		n.report(ev)
+		n.report(ev, n.newTrace())
 	}
 	// Redirect probing to the next neighbour right away; if it is dead
 	// too, the chain of timeouts will walk the ring (figure 3).

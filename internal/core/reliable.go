@@ -1,6 +1,7 @@
 package core
 
 import (
+	"peerwindow/internal/trace"
 	"peerwindow/internal/wire"
 )
 
@@ -58,6 +59,11 @@ func (n *Node) onAckTimeout(id uint64) {
 	delete(n.pending, id)
 	n.m.ackFailures.Inc()
 	n.tracef("ack-fail", "%v to=%d", p.msg.Type, p.msg.To)
+	if p.msg.Type == wire.MsgEvent {
+		// A traced multicast hop is lost for good; span() is a no-op for
+		// untraced messages.
+		n.span(p.msg.Trace, trace.SpanDrop, 0, p.msg.To, int(p.msg.Step), p.msg.Event)
+	}
 	if p.onFail != nil {
 		p.onFail()
 	}

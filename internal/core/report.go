@@ -9,10 +9,11 @@ import (
 // reach a top node of the changing node's part, which then originates the
 // tree multicast (§2, §4.4, §4.5).
 
-// announce reports a state change about this node itself.
+// announce reports a state change about this node itself, stamping a
+// fresh trace context (a no-op zero ID when no span sink is attached).
 func (n *Node) announce(kind wire.EventKind) {
 	n.seq++
-	n.report(wire.Event{Kind: kind, Subject: n.self, Seq: n.seq})
+	n.report(wire.Event{Kind: kind, Subject: n.self, Seq: n.seq}, n.newTrace())
 }
 
 // report delivers an event to a top node. A top node handles it locally;
@@ -20,15 +21,16 @@ func (n *Node) announce(kind wire.EventKind) {
 // walking the list on failures, lazily refreshing it from a peer when it
 // is exhausted (§4.5), and as a last resort escalating through the
 // strongest known peer or originating locally (degraded but still covers
-// the weaker part of the audience).
-func (n *Node) report(ev wire.Event) {
+// the weaker part of the audience). tid is the causal context stamped by
+// the announcer; it rides the MsgReport envelope to the originator.
+func (n *Node) report(ev wire.Event, tid wire.TraceID) {
 	if n.isTopNode() {
 		if n.applyEvent(ev) {
-			n.originateMulticast(ev)
+			n.originateMulticast(ev, tid)
 		}
 		return
 	}
-	n.reportVia(ev, n.shuffledTops(), false)
+	n.reportVia(ev, tid, n.shuffledTops(), false)
 }
 
 // shuffledTops returns a randomized copy of the top-node list so report
@@ -45,7 +47,7 @@ func (n *Node) shuffledTops() []wire.Pointer {
 // reportVia tries each candidate top node in turn. refreshed guards the
 // one-shot "ask another node in the peer list for his top-node list as a
 // substitution" fallback of §4.5.
-func (n *Node) reportVia(ev wire.Event, tops []wire.Pointer, refreshed bool) {
+func (n *Node) reportVia(ev wire.Event, tid wire.TraceID, tops []wire.Pointer, refreshed bool) {
 	if n.stopped {
 		return
 	}
@@ -56,44 +58,44 @@ func (n *Node) reportVia(ev wire.Event, tops []wire.Pointer, refreshed bool) {
 				n.sendReliable(msg, n.cfg.RetryAttempts,
 					func(resp wire.Message) {
 						n.mergeTopPointers(resp.Pointers)
-						n.reportVia(ev, n.shuffledTops(), true)
+						n.reportVia(ev, tid, n.shuffledTops(), true)
 					},
-					func() { n.reportVia(ev, nil, true) },
+					func() { n.reportVia(ev, tid, nil, true) },
 				)
 				return
 			}
 		}
-		n.reportEscalate(ev)
+		n.reportEscalate(ev, tid)
 		return
 	}
 	t := tops[0]
-	msg := wire.Message{Type: wire.MsgReport, To: t.Addr, Event: ev}
+	msg := wire.Message{Type: wire.MsgReport, To: t.Addr, Event: ev, Trace: tid}
 	n.m.reportsSent.Inc()
 	n.sendReliable(msg, n.cfg.RetryAttempts, nil, func() {
 		// The top node is unreachable: drop it from the list and try the
 		// next one.
 		n.dropTop(t.ID)
-		n.reportVia(ev, tops[1:], refreshed)
+		n.reportVia(ev, tid, tops[1:], refreshed)
 	})
 }
 
 // reportEscalate is the degraded path when no top node can be reached:
 // hand the event to the strongest known peer, or originate the multicast
 // ourselves (covering at least our own subtree of the audience).
-func (n *Node) reportEscalate(ev wire.Event) {
+func (n *Node) reportEscalate(ev wire.Event, tid wire.TraceID) {
 	n.m.reportEscalations.Inc()
 	n.tracef("report-escalate", "%v subject=%s", ev.Kind, ev.Subject.ID)
 	if p, ok := n.peers.Strongest(); ok && int(p.Level) < int(n.self.Level) {
-		msg := wire.Message{Type: wire.MsgReport, To: p.Addr, Event: ev}
+		msg := wire.Message{Type: wire.MsgReport, To: p.Addr, Event: ev, Trace: tid}
 		n.sendReliable(msg, n.cfg.RetryAttempts, nil, func() {
 			if n.applyEvent(ev) {
-				n.originateMulticast(ev)
+				n.originateMulticast(ev, tid)
 			}
 		})
 		return
 	}
 	if n.applyEvent(ev) {
-		n.originateMulticast(ev)
+		n.originateMulticast(ev, tid)
 	}
 }
 
@@ -116,24 +118,24 @@ func (n *Node) dropTop(id nodeid.ID) {
 func (n *Node) handleReport(m wire.Message) {
 	tops := n.ackPointers()
 	n.send(wire.Message{Type: wire.MsgReportAck, To: m.From, AckID: m.AckID, Pointers: tops})
-	ev := m.Event
+	ev, tid := m.Event, m.Trace
 	if n.isTopNode() {
 		if n.applyEvent(ev) {
-			n.originateMulticast(ev)
+			n.originateMulticast(ev, tid)
 		}
 		return
 	}
 	if p, ok := n.peers.Strongest(); ok && int(p.Level) < int(n.self.Level) {
-		msg := wire.Message{Type: wire.MsgReport, To: p.Addr, Event: ev}
+		msg := wire.Message{Type: wire.MsgReport, To: p.Addr, Event: ev, Trace: tid}
 		n.sendReliable(msg, n.cfg.RetryAttempts, nil, func() {
 			if n.applyEvent(ev) {
-				n.originateMulticast(ev)
+				n.originateMulticast(ev, tid)
 			}
 		})
 		return
 	}
 	if n.applyEvent(ev) {
-		n.originateMulticast(ev)
+		n.originateMulticast(ev, tid)
 	}
 }
 

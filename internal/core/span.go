@@ -1,0 +1,51 @@
+package core
+
+// Causal-tracing hooks. The node stamps a wire.TraceID on the events it
+// announces (and on trees it originates for unstamped reports), carries
+// the ID through every multicast hop, and records structured spans into
+// an attached trace.SpanSink. With no sink attached the node never
+// stamps an ID, incoming messages carry the zero ID, and both helpers
+// below return before building anything — the hot path stays free of
+// allocations and the wire bytes stay byte-identical to untraced runs.
+
+import (
+	"peerwindow/internal/trace"
+	"peerwindow/internal/wire"
+)
+
+// SetSpanSink attaches a span sink; protocol moments of traced events
+// (origin, receive, deliver, duplicate, forward, redirect, drop) are
+// recorded into it. Call before the node goes live; nil disables span
+// recording and trace stamping.
+func (n *Node) SetSpanSink(s trace.SpanSink) { n.spans = s }
+
+// newTrace stamps a fresh trace ID for an event this node announces or
+// originates. It returns the zero ID — no stamping, no wire overhead —
+// when no sink is attached.
+func (n *Node) newTrace() wire.TraceID {
+	if n.spans == nil {
+		return wire.TraceID{}
+	}
+	n.traceSeq++
+	return wire.TraceID{Origin: n.self.ID, Seq: n.traceSeq}
+}
+
+// span records one causal span. Nodes without a sink, and untraced
+// events (zero ID), fall through without building the Span value.
+func (n *Node) span(tid wire.TraceID, kind trace.SpanKind, parent, child wire.Addr, step int, ev wire.Event) {
+	if n.spans == nil || tid.IsZero() {
+		return
+	}
+	n.spans.RecordSpan(trace.Span{
+		At:        n.env.Now(),
+		Node:      uint64(n.self.Addr),
+		Trace:     tid,
+		Kind:      kind,
+		Parent:    uint64(parent),
+		Child:     uint64(child),
+		Step:      step,
+		EventKind: ev.Kind,
+		Subject:   ev.Subject.ID,
+		EventSeq:  ev.Seq,
+	})
+}

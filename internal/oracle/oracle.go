@@ -126,6 +126,22 @@ func (r *Registry) AudienceSize(subject nodeid.ID) int {
 	return n
 }
 
+// Audience enumerates the audience set of subject — every member whose
+// eigenstring is a prefix of subject's ID, in ID order. It is the
+// set-valued companion of AudienceSize, used to cross-check reconstructed
+// multicast-tree coverage; like AudienceSize it is O(membership). The
+// returned slice is the caller's.
+func (r *Registry) Audience(subject nodeid.ID) []wire.Pointer {
+	out := make([]wire.Pointer, 0, 32)
+	for i := range r.members {
+		m := &r.members[i]
+		if m.ID.Prefix(int(m.Level)) == subject.Prefix(int(m.Level)) {
+			out = append(out, *m)
+		}
+	}
+	return out
+}
+
 // ForEach visits every member in ID order.
 func (r *Registry) ForEach(fn func(p wire.Pointer)) {
 	for i := range r.members {

@@ -48,6 +48,12 @@ type ClusterConfig struct {
 	// virtual time, so counter assertions can be cross-checked against
 	// the event timeline.
 	Trace *trace.Ring
+	// Spans, when non-nil, turns on causal tracing: every node stamps
+	// trace IDs on the events it announces and records spans here, and
+	// the harness adds a drop span for each traced multicast hop lost to
+	// loss injection. Use NewTraceCollector for the oracle-cross-checked
+	// variant.
+	Spans trace.SpanSink
 }
 
 // Cluster is a deterministic full-fidelity simulation of a PeerWindow
@@ -214,6 +220,9 @@ func (c *Cluster) AddNode(threshold float64) *SimNode {
 	if c.cfg.Trace != nil {
 		sn.Node.SetTrace(c.cfg.Trace)
 	}
+	if c.cfg.Spans != nil {
+		sn.Node.SetSpanSink(c.cfg.Spans)
+	}
 	c.nodes = append(c.nodes, sn)
 	c.byAddr[addr] = sn
 	return sn
@@ -332,6 +341,14 @@ func (sn *SimNode) Send(msg wire.Message) {
 	}
 	if c.cfg.LossRate > 0 && c.netRng.Float64() < c.cfg.LossRate {
 		c.Dropped++
+		if c.cfg.Spans != nil && msg.Type == wire.MsgEvent && !msg.Trace.IsZero() {
+			c.cfg.Spans.RecordSpan(trace.Span{
+				At: c.Engine.Now(), Node: uint64(msg.From), Trace: msg.Trace,
+				Kind: trace.SpanDrop, Child: uint64(msg.To), Step: int(msg.Step),
+				EventKind: msg.Event.Kind, Subject: msg.Event.Subject.ID,
+				EventSeq: msg.Event.Seq,
+			})
+		}
 		return
 	}
 	dst, ok := c.byAddr[msg.To]

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"peerwindow/internal/des"
+)
+
+func TestSampleMetricsCapturesSeries(t *testing.T) {
+	c := smallCluster(t, 12, 9)
+	ts := c.SampleMetrics(30 * des.Second)
+	c.Run(5 * des.Minute)
+	if got := len(ts.Samples); got != 10 {
+		t.Fatalf("got %d samples over 5min at 30s, want 10", got)
+	}
+	prev := ts.Samples[0]
+	if prev.Nodes != 12 {
+		t.Fatalf("first sample sees %d nodes want 12", prev.Nodes)
+	}
+	for i, s := range ts.Samples[1:] {
+		if s.At <= prev.At {
+			t.Fatalf("sample %d time %v not after %v", i+1, s.At, prev.At)
+		}
+		if s.MessagesSent < prev.MessagesSent || s.BitsSent < prev.BitsSent {
+			t.Fatalf("cumulative counters went backwards at sample %d", i+1)
+		}
+		prev = s
+	}
+	// Probing keeps traffic flowing, so the series must actually move.
+	if first, last := ts.Samples[0], prev; last.MessagesSent == first.MessagesSent {
+		t.Fatal("series is flat; sampler not observing live traffic")
+	}
+	// Per-node instruments fold in: heartbeats are counted somewhere.
+	if len(prev.Metrics.Counters) == 0 {
+		t.Fatal("merged snapshot has no counters")
+	}
+}
+
+func TestSampleMetricsStop(t *testing.T) {
+	c := smallCluster(t, 4, 9)
+	ts := c.SampleMetrics(30 * des.Second)
+	c.Run(time2())
+	n := len(ts.Samples)
+	if n == 0 {
+		t.Fatal("no samples before Stop")
+	}
+	ts.Stop()
+	c.Run(time2())
+	if len(ts.Samples) != n {
+		t.Fatalf("sampler kept running after Stop: %d -> %d", n, len(ts.Samples))
+	}
+}
+
+func TestSampleMetricsValidation(t *testing.T) {
+	c := smallCluster(t, 2, 9)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive interval did not panic")
+		}
+	}()
+	c.SampleMetrics(0)
+}
+
+func TestTimeseriesWriteCSV(t *testing.T) {
+	c := smallCluster(t, 6, 9)
+	ts := c.SampleMetrics(time2())
+	c.Run(6 * des.Minute)
+	var buf bytes.Buffer
+	if err := ts.WriteCSV(&buf, "probe.rounds"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(ts.Samples) {
+		t.Fatalf("csv has %d lines want %d", len(lines), 1+len(ts.Samples))
+	}
+	if lines[0] != "seconds,nodes,messages,bits,dropped,probe.rounds" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	for _, ln := range lines[1:] {
+		if strings.Count(ln, ",") != 5 {
+			t.Fatalf("row %q has wrong column count", ln)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"peerwindow/internal/core"
+	"peerwindow/internal/des"
+	"peerwindow/internal/trace"
+)
+
+// TestTraceCoverageMatchesOracle256 is the end-to-end audit of causal
+// tracing: a 256-node full-fidelity run with sequential churn, where every
+// reconstructed multicast tree must cover its origin-time oracle audience
+// exactly — zero missing members, zero extra deliveries. Duplicates and
+// redirects do not affect coverage; they are reported separately.
+func TestTraceCoverageMatchesOracle256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-node full-fidelity run; skipped with -short")
+	}
+	const n = 256
+	cfg := ClusterConfig{Core: core.DefaultConfig(), Seed: 7}
+	// Refresh multicasts would interleave with the churn under audit;
+	// keep the event stream to exactly the driven operations.
+	cfg.Core.RefreshEnabled = false
+	c := NewCluster(cfg)
+	// Every join is one traced tree; capacity must hold the whole run or
+	// eviction breaks reconstruction (asserted below).
+	const spanCap = 1 << 18
+	tc := c.EnableSpanCollection(spanCap)
+
+	first := c.AddNode(1e9)
+	c.Bootstrap(first)
+	for i := 1; i < n; i++ {
+		sn := c.AddNode(1e9)
+		if err := c.Join(sn, c.RandomJoined(sn), des.Hour); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		// Let each join's multicast finish: concurrent trees would race
+		// the oracle snapshot and each other's dedup.
+		c.Run(30 * des.Second)
+	}
+	c.Run(2 * des.Minute)
+
+	// Sequential churn, each operation settled before the next.
+	c.Leave(c.Alive()[10])
+	c.Run(2 * des.Minute)
+	c.Alive()[5].Node.SetInfo([]byte("first"))
+	c.Run(2 * des.Minute)
+	c.Kill(c.Alive()[77])
+	// Ring probing must detect the crash and the leave tree must route
+	// around the dead node's stale pointers.
+	c.Run(5 * des.Minute)
+	c.Leave(c.Alive()[200])
+	c.Run(2 * des.Minute)
+	late := c.AddNode(1e9)
+	if err := c.Join(late, c.RandomJoined(late), des.Hour); err != nil {
+		t.Fatalf("late join: %v", err)
+	}
+	c.Run(2 * des.Minute)
+	c.Alive()[42].Node.SetInfo([]byte("second"))
+	c.Run(2 * des.Minute)
+
+	if got := tc.Total(); got > spanCap {
+		t.Fatalf("span buffer overflowed: %d spans recorded, capacity %d", got, spanCap)
+	}
+
+	audit := tc.Audit()
+	// One tree per join plus the churn events (the kill shows up as the
+	// detector's leave event).
+	if wantMin := n - 1 + 6; len(audit) < wantMin {
+		t.Fatalf("reconstructed %d trees, want >= %d", len(audit), wantMin)
+	}
+	duplicates, redirects := 0, 0
+	for _, cv := range audit {
+		tr := cv.Tree
+		duplicates += tr.Duplicates
+		redirects += tr.Redirects
+		if !cv.HasExpected {
+			t.Fatalf("tree %s (%v subject=%s): origin span lost, no audience snapshot",
+				tr.Trace, tr.EventKind, tr.Subject)
+		}
+		if !cv.Exact() {
+			t.Fatalf("tree %s (%v subject=%s seq=%d): delivered %d of %d expected, missing=%v extra=%v",
+				tr.Trace, tr.EventKind, tr.Subject, tr.EventSeq,
+				len(tr.Delivered), len(cv.Expected), cv.Missing, cv.Extra)
+		}
+		// Every delivery must hang off an unbroken parent chain.
+		for node, d := range tr.Delivered {
+			if d.Depth < 0 {
+				t.Fatalf("tree %s: node %d delivered with broken parent chain", tr.Trace, node)
+			}
+		}
+	}
+	t.Logf("%d trees exact; %d duplicates, %d redirects across the run",
+		len(audit), duplicates, redirects)
+
+	// The paper's structural claim: tree depth stays ~log2 N.
+	st := trace.Aggregate(tc.Trees())
+	if logN := st.Log2N(); st.MeanDepth > 2*logN {
+		t.Fatalf("mean depth %.2f exceeds 2*log2(N)=%.2f (mean delivered %.1f)",
+			st.MeanDepth, 2*logN, st.MeanDelivered)
+	}
+	if st.MeanRedundancy > 1.05 {
+		t.Fatalf("mean redundancy %.3f, want ~1 (tree property)", st.MeanRedundancy)
+	}
+	// Spot-check against the direct log of the final population too.
+	if full := math.Log2(float64(n)); st.MaxDepth > int(4*full) {
+		t.Fatalf("max depth %d far exceeds log2(256)=%v", st.MaxDepth, full)
+	}
+}
+
+// TestTraceCollectorSmall exercises the collector on a cluster small
+// enough to eyeball: every join tree exact, expected sets frozen at
+// origin time.
+func TestTraceCollectorSmall(t *testing.T) {
+	cfg := ClusterConfig{Core: core.DefaultConfig(), Seed: 3}
+	cfg.Core.RefreshEnabled = false
+	c := NewCluster(cfg)
+	tc := c.EnableSpanCollection(1 << 12)
+	first := c.AddNode(1e9)
+	c.Bootstrap(first)
+	for i := 1; i < 16; i++ {
+		sn := c.AddNode(1e9)
+		if err := c.Join(sn, c.RandomJoined(sn), des.Hour); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		c.Run(30 * des.Second)
+	}
+	c.Run(2 * des.Minute)
+	audit := tc.Audit()
+	if len(audit) < 15 {
+		t.Fatalf("got %d trees want >= 15 (one per join)", len(audit))
+	}
+	for _, cv := range audit {
+		if !cv.Exact() {
+			t.Fatalf("tree %s: missing=%v extra=%v (expected %d)",
+				cv.Tree.Trace, cv.Missing, cv.Extra, len(cv.Expected))
+		}
+	}
+	// The audience snapshot grows with membership: the last join's
+	// expected set must be the full final population.
+	last := audit[len(audit)-1]
+	if len(last.Expected) != 16 {
+		t.Fatalf("last join's audience snapshot = %d members, want 16", len(last.Expected))
+	}
+	if tid := last.Tree.Trace; tid.IsZero() {
+		t.Fatal("tree carries a zero trace id")
+	}
+	if _, ok := tc.Expected(last.Tree.Trace); !ok {
+		t.Fatal("Expected() lost the snapshot")
+	}
+}
+
+// TestEnableSpanCollectionRetrofitsNodes ensures nodes added before the
+// collector still stamp traces afterwards.
+func TestEnableSpanCollectionRetrofitsNodes(t *testing.T) {
+	c := smallCluster(t, 8, 5)
+	c.Run(time2())
+	tc := c.EnableSpanCollection(1 << 10)
+	c.Alive()[2].Node.SetInfo([]byte("after"))
+	c.Run(time2())
+	audit := tc.Audit()
+	if len(audit) != 1 {
+		t.Fatalf("got %d trees want 1", len(audit))
+	}
+	if !audit[0].Exact() {
+		t.Fatalf("retrofit tree not exact: missing=%v extra=%v", audit[0].Missing, audit[0].Extra)
+	}
+}

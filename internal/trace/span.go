@@ -1,0 +1,262 @@
+package trace
+
+// Causal spans: where the event Ring records free-form diagnostics, a
+// Span is a structured record of one moment in the life of a traced
+// multicast — origination, a message arriving, a delivery or duplicate
+// verdict, a forward to a child, a redirect around a stale pointer, or a
+// drop. Every span carries the wire.TraceID stamped at origination, so a
+// collector can group spans by trace and rebuild the actual multicast
+// tree (see tree.go).
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"peerwindow/internal/des"
+	"peerwindow/internal/nodeid"
+	"peerwindow/internal/wire"
+)
+
+// SpanKind classifies one span.
+type SpanKind uint8
+
+const (
+	// SpanOrigin marks the node that started the multicast tree (a top
+	// node applying a reported event, or a degraded-path originator).
+	SpanOrigin SpanKind = iota + 1
+	// SpanReceive marks a MsgEvent arriving, before the dedup verdict.
+	SpanReceive
+	// SpanDeliver marks a fresh event accepted and applied.
+	SpanDeliver
+	// SpanDuplicate marks an arrival rejected by dedup.
+	SpanDuplicate
+	// SpanForward marks a tree forward to a child (Child, at Step).
+	SpanForward
+	// SpanRedirect marks a forward abandoned after the retry budget; the
+	// stale target is in Child and a substitute is being chosen.
+	SpanRedirect
+	// SpanDrop marks a traced message lost for good: the reliable layer
+	// exhausted its attempts, or the network dropped it (loss injection).
+	SpanDrop
+)
+
+var spanKindNames = [...]string{
+	SpanOrigin: "origin", SpanReceive: "receive", SpanDeliver: "deliver",
+	SpanDuplicate: "duplicate", SpanForward: "forward",
+	SpanRedirect: "redirect", SpanDrop: "drop",
+}
+
+// String implements fmt.Stringer.
+func (k SpanKind) String() string {
+	if int(k) < len(spanKindNames) && spanKindNames[k] != "" {
+		return spanKindNames[k]
+	}
+	return fmt.Sprintf("span(%d)", uint8(k))
+}
+
+// ParseSpanKind inverts String.
+func ParseSpanKind(s string) (SpanKind, error) {
+	for k, name := range spanKindNames {
+		if name == s {
+			return SpanKind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown span kind %q", s)
+}
+
+// Span is one recorded moment of a traced protocol event.
+type Span struct {
+	// At is the virtual time of the moment.
+	At des.Time
+	// Node is the recording node's address.
+	Node uint64
+	// Trace groups the span with its multicast tree.
+	Trace wire.TraceID
+	// Kind says what happened.
+	Kind SpanKind
+	// Parent is the sending node's address for receive/deliver/duplicate
+	// spans (the tree edge walked to get here); zero otherwise.
+	Parent uint64
+	// Child is the target address for forward/redirect/drop spans; zero
+	// otherwise.
+	Child uint64
+	// Step is the §4.2 multicast step counter: the received step for
+	// receive-side spans, the stamped step for forwards.
+	Step int
+	// Event identity: kind, subject and per-subject sequence.
+	EventKind wire.EventKind
+	Subject   nodeid.ID
+	EventSeq  uint64
+}
+
+// SpanSink receives spans as they happen. Implementations must be safe
+// for the caller's execution model (the sim engine is single-threaded;
+// live transports call from executor goroutines, so shared sinks must
+// lock — SpanBuffer does).
+type SpanSink interface {
+	RecordSpan(Span)
+}
+
+// SpanBuffer is a bounded span ring: the per-node (or per-cluster)
+// retention behind /debug/spans and the sim collector. Like Ring, a
+// fixed capacity keeps always-on tracing at constant memory. All methods
+// are safe for concurrent use.
+type SpanBuffer struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	count int
+	total uint64
+}
+
+// NewSpanBuffer builds a buffer retaining up to capacity spans.
+func NewSpanBuffer(capacity int) *SpanBuffer {
+	if capacity <= 0 {
+		panic("trace: span buffer capacity must be positive")
+	}
+	return &SpanBuffer{buf: make([]Span, capacity)}
+}
+
+// RecordSpan implements SpanSink, evicting the oldest span when full.
+func (b *SpanBuffer) RecordSpan(s Span) {
+	b.mu.Lock()
+	b.buf[b.next] = s
+	b.next = (b.next + 1) % len(b.buf)
+	if b.count < len(b.buf) {
+		b.count++
+	}
+	b.total++
+	b.mu.Unlock()
+}
+
+// Total returns how many spans were ever recorded (including evicted
+// ones).
+func (b *SpanBuffer) Total() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// Snapshot returns the retained spans oldest-first.
+func (b *SpanBuffer) Snapshot() []Span {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Span, 0, b.count)
+	start := b.next - b.count
+	if start < 0 {
+		start += len(b.buf)
+	}
+	for i := 0; i < b.count; i++ {
+		out = append(out, b.buf[(start+i)%len(b.buf)])
+	}
+	return out
+}
+
+// WriteJSONL dumps the retained spans as JSON lines.
+func (b *SpanBuffer) WriteJSONL(w io.Writer) error {
+	return WriteSpans(w, b.Snapshot())
+}
+
+// spanJSON is the JSONL schema (docs/OBSERVABILITY.md documents it).
+type spanJSON struct {
+	At      int64  `json:"at"`
+	Node    uint64 `json:"node"`
+	Trace   string `json:"trace"`
+	Kind    string `json:"kind"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Child   uint64 `json:"child,omitempty"`
+	Step    int    `json:"step"`
+	Event   string `json:"event"`
+	Subject string `json:"subject"`
+	Seq     uint64 `json:"seq"`
+}
+
+// eventKindFromString inverts wire.EventKind.String for the JSONL
+// decoder.
+func eventKindFromString(s string) (wire.EventKind, error) {
+	for k := wire.EventJoin; k <= wire.EventRefresh; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown event kind %q", s)
+}
+
+// WriteSpans encodes spans as JSON lines, one span per line.
+func WriteSpans(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range spans {
+		if err := enc.Encode(spanJSON{
+			At:      int64(s.At),
+			Node:    s.Node,
+			Trace:   s.Trace.String(),
+			Kind:    s.Kind.String(),
+			Parent:  s.Parent,
+			Child:   s.Child,
+			Step:    s.Step,
+			Event:   s.EventKind.String(),
+			Subject: s.Subject.String(),
+			Seq:     s.EventSeq,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSpans decodes a JSONL span stream produced by WriteSpans (or the
+// /debug/spans endpoint). Blank lines are skipped; a malformed line is an
+// error carrying its line number.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	var out []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var j spanJSON
+		if err := json.Unmarshal(raw, &j); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		tid, err := wire.ParseTraceID(j.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		kind, err := ParseSpanKind(j.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		ek, err := eventKindFromString(j.Event)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		subject, err := nodeid.Parse(j.Subject)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, Span{
+			At:        des.Time(j.At),
+			Node:      j.Node,
+			Trace:     tid,
+			Kind:      kind,
+			Parent:    j.Parent,
+			Child:     j.Child,
+			Step:      j.Step,
+			EventKind: ek,
+			Subject:   subject,
+			EventSeq:  j.Seq,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

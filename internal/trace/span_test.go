@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"peerwindow/internal/des"
+	"peerwindow/internal/nodeid"
+	"peerwindow/internal/wire"
+)
+
+func testTrace(seq uint64) wire.TraceID {
+	return wire.TraceID{Origin: nodeid.HashString("origin"), Seq: seq}
+}
+
+func testSpan(i int) Span {
+	return Span{
+		At:        des.Time(i) * des.Second,
+		Node:      uint64(i + 1),
+		Trace:     testTrace(1),
+		Kind:      SpanDeliver,
+		Parent:    uint64(i),
+		Step:      i,
+		EventKind: wire.EventInfoChange,
+		Subject:   nodeid.HashString("subject"),
+		EventSeq:  7,
+	}
+}
+
+func TestSpanKindStringParse(t *testing.T) {
+	for k := SpanOrigin; k <= SpanDrop; k++ {
+		got, err := ParseSpanKind(k.String())
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if got != k {
+			t.Fatalf("parse(%q) = %v want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseSpanKind("bogus"); err == nil {
+		t.Fatal("bogus kind parsed")
+	}
+	if !strings.Contains(SpanKind(99).String(), "99") {
+		t.Fatalf("unknown kind renders as %q", SpanKind(99))
+	}
+}
+
+func TestSpanBufferEvictsOldest(t *testing.T) {
+	b := NewSpanBuffer(4)
+	for i := 0; i < 10; i++ {
+		b.RecordSpan(testSpan(i))
+	}
+	if b.Total() != 10 {
+		t.Fatalf("total = %d want 10", b.Total())
+	}
+	got := b.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("retained %d spans want 4", len(got))
+	}
+	for i, s := range got {
+		if s.Node != uint64(6+i+1) {
+			t.Fatalf("span %d: node %d, want oldest-first tail", i, s.Node)
+		}
+	}
+}
+
+func TestSpanBufferPartiallyFilled(t *testing.T) {
+	b := NewSpanBuffer(8)
+	b.RecordSpan(testSpan(0))
+	b.RecordSpan(testSpan(1))
+	got := b.Snapshot()
+	if len(got) != 2 || got[0].Node != 1 || got[1].Node != 2 {
+		t.Fatalf("snapshot = %+v", got)
+	}
+}
+
+func TestSpanBufferValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity did not panic")
+		}
+	}()
+	NewSpanBuffer(0)
+}
+
+func TestSpanJSONLRoundTrip(t *testing.T) {
+	spans := []Span{
+		{At: 5 * des.Second, Node: 1, Trace: testTrace(1), Kind: SpanOrigin,
+			Step: 0, EventKind: wire.EventJoin, Subject: nodeid.HashString("s"), EventSeq: 1},
+		{At: 6 * des.Second, Node: 2, Trace: testTrace(1), Kind: SpanDeliver,
+			Parent: 1, Step: 1, EventKind: wire.EventJoin, Subject: nodeid.HashString("s"), EventSeq: 1},
+		{At: 7 * des.Second, Node: 1, Trace: testTrace(2), Kind: SpanForward,
+			Child: 3, Step: 2, EventKind: wire.EventLeave, Subject: nodeid.HashString("t"), EventSeq: 9},
+	}
+	var buf bytes.Buffer
+	if err := WriteSpans(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(spans) {
+		t.Fatalf("read %d spans want %d", len(got), len(spans))
+	}
+	for i := range spans {
+		if got[i] != spans[i] {
+			t.Fatalf("span %d:\n got %+v\nwant %+v", i, got[i], spans[i])
+		}
+	}
+}
+
+func TestReadSpansSkipsBlankRejectsMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpans(&buf, []Span{testSpan(0)}); err != nil {
+		t.Fatal(err)
+	}
+	in := "\n" + buf.String() + "\n"
+	got, err := ReadSpans(strings.NewReader(in))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("blank lines: got %d spans, err %v", len(got), err)
+	}
+	for _, bad := range []string{
+		"not json",
+		`{"trace":"nohash","kind":"deliver","event":"join","subject":"0"}`,
+		`{"trace":"` + testTrace(1).String() + `","kind":"bogus","event":"join"}`,
+	} {
+		if _, err := ReadSpans(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("malformed line %q accepted", bad)
+		}
+	}
+}
+
+func TestSpanBufferWriteJSONL(t *testing.T) {
+	b := NewSpanBuffer(8)
+	b.RecordSpan(testSpan(0))
+	var buf bytes.Buffer
+	if err := b.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpans(&buf)
+	if err != nil || len(got) != 1 || got[0] != testSpan(0) {
+		t.Fatalf("round trip via buffer: %+v, %v", got, err)
+	}
+}

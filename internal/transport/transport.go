@@ -73,6 +73,10 @@ type NetworkConfig struct {
 	// Trace, when non-nil, records message flow (sends, drops,
 	// deliveries) for post-mortem inspection.
 	Trace *trace.Ring
+	// Spans, when non-nil, turns on causal tracing: hosts stamp trace
+	// IDs on announced events and record spans here, and the network
+	// adds a drop span for each traced multicast hop lost to injection.
+	Spans trace.SpanSink
 }
 
 // Network is an in-process overlay substrate. It is safe for concurrent
@@ -228,6 +232,9 @@ func (n *Network) SpawnObserved(name string, threshold float64, obs core.Observe
 		// Protocol-level events interleave with message flow in the ring.
 		h.node.SetTrace(n.cfg.Trace)
 	}
+	if n.cfg.Spans != nil {
+		h.node.SetSpanSink(n.cfg.Spans)
+	}
 	n.hosts[addr] = h
 	go h.loop()
 	return h
@@ -272,6 +279,14 @@ func (n *Network) deliver(from *Host, msg wire.Message) {
 			if n.cfg.Trace != nil {
 				n.cfg.Trace.Record(n.now(), uint64(msg.From), "drop",
 					fmt.Sprintf("%v to=%d", msg.Type, msg.To))
+			}
+			if n.cfg.Spans != nil && msg.Type == wire.MsgEvent && !msg.Trace.IsZero() {
+				n.cfg.Spans.RecordSpan(trace.Span{
+					At: n.now(), Node: uint64(msg.From), Trace: msg.Trace,
+					Kind: trace.SpanDrop, Child: uint64(msg.To), Step: int(msg.Step),
+					EventKind: msg.Event.Kind, Subject: msg.Event.Subject.ID,
+					EventSeq: msg.Event.Seq,
+				})
 			}
 			return
 		}

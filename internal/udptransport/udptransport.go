@@ -65,7 +65,8 @@ type Node struct {
 	recv                          [wire.MsgTopListResp + 1]*metrics.Counter
 	sendBytes, recvBytes, garbage *metrics.Counter
 
-	ring *trace.Ring
+	ring  *trace.Ring
+	spans *trace.SpanBuffer
 }
 
 // Listen binds a UDP socket (addr like "127.0.0.1:0") and starts the
@@ -314,6 +315,23 @@ func (n *Node) EnableTrace(capacity int) *trace.Ring {
 
 // TraceRing returns the ring attached by EnableTrace, or nil.
 func (n *Node) TraceRing() *trace.Ring { return n.ring }
+
+// EnableSpans attaches a causal span buffer of the given capacity: the
+// node stamps trace IDs on the events it announces and records spans
+// (origin, receive, deliver, duplicate, forward, redirect, drop) into
+// it. Call it before Bootstrap or Join; it returns the buffer for
+// /debug/spans-style JSONL dumps.
+func (n *Node) EnableSpans(capacity int) *trace.SpanBuffer {
+	buf := trace.NewSpanBuffer(capacity)
+	n.call(func() {
+		n.spans = buf
+		n.node.SetSpanSink(buf)
+	})
+	return buf
+}
+
+// Spans returns the buffer attached by EnableSpans, or nil.
+func (n *Node) Spans() *trace.SpanBuffer { return n.spans }
 
 // --- core.Env -------------------------------------------------------------
 

@@ -96,6 +96,12 @@ type Message struct {
 	// bits of PartPrefix. PartBits == 0 asks for the local part.
 	PartBits   uint8
 	PartPrefix [16]byte
+
+	// Trace carries the causal trace context (MsgEvent, MsgReport). The
+	// zero value encodes to nothing — the codec appends a trailing trace
+	// block only when Trace is set, so untraced traffic is byte-for-byte
+	// the pre-tracing format (codec v2, see the package doc comment).
+	Trace TraceID
 }
 
 // header layout: type(1) from(8) to(8).
@@ -140,6 +146,11 @@ func (m Message) Marshal() []byte {
 		b = binary.BigEndian.AppendUint64(b, m.AckID)
 		b = append(b, m.PartBits)
 		b = append(b, m.PartPrefix[:]...)
+	}
+	// The trace context rides as an optional trailing block so untraced
+	// messages (the zero TraceID) keep the exact historical layout.
+	if !m.Trace.IsZero() {
+		b = m.Trace.marshalTrace(b)
 	}
 	return b
 }
@@ -254,7 +265,13 @@ func Unmarshal(b []byte) (Message, error) {
 		return Message{}, err
 	}
 	if len(b) != 0 {
-		return Message{}, fmt.Errorf("wire: %d trailing bytes", len(b))
+		// The only tail the codec accepts is exactly one trace block;
+		// unmarshalTrace raises the historical trailing-bytes error for
+		// anything else.
+		m.Trace, err = unmarshalTrace(b)
+		if err != nil {
+			return Message{}, err
+		}
 	}
 	return m, nil
 }

@@ -13,6 +13,15 @@
 // accounting can use true on-the-wire sizes rather than guesses. The
 // paper's experiments assume an event message of 1000 bits; EventMsg sizes
 // land in the same range for small attached info.
+//
+// Codec versions: v1 is the original layout — type(1) from(8) to(8)
+// header plus a per-type payload, with any trailing bytes rejected. v2
+// (current) is v1 plus an optional trailing trace block (marker byte,
+// 16-byte origin nodeId, 8-byte sequence) carrying the causal TraceID.
+// Marshal skip-encodes a zero TraceID, so v2 writers emit byte-identical
+// v1 frames for untraced messages, and Unmarshal accepts both an empty
+// tail (v1) and exactly one trace block (v2); every other tail is still
+// an error. Old fixtures therefore round-trip unchanged.
 package wire
 
 import (

@@ -17,7 +17,7 @@
 // the paper sketches — attach info to your pointer, read other peers'
 // windows, and select partners locally:
 //
-//	ov := peerwindow.New(peerwindow.Defaults())
+//	ov, _ := peerwindow.NewOverlay(peerwindow.Defaults())
 //	defer ov.Close()
 //	alice, _ := ov.Spawn("alice")
 //	bob, _ := ov.Spawn("bob")

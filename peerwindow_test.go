@@ -18,6 +18,15 @@ func testOptions(seed uint64) Options {
 	return o
 }
 
+func newTestOverlay(t *testing.T, o Options) *Overlay {
+	t.Helper()
+	ov, err := NewOverlay(o)
+	if err != nil {
+		t.Fatalf("NewOverlay: %v", err)
+	}
+	return ov
+}
+
 func buildPeers(t *testing.T, ov *Overlay, names ...string) []*Peer {
 	t.Helper()
 	out := make([]*Peer, 0, len(names))
@@ -33,7 +42,7 @@ func buildPeers(t *testing.T, ov *Overlay, names ...string) []*Peer {
 }
 
 func TestOverlayWindowsConverge(t *testing.T) {
-	ov := New(testOptions(1))
+	ov := newTestOverlay(t, testOptions(1))
 	defer ov.Close()
 	peers := buildPeers(t, ov, "a", "b", "c", "d", "e", "f")
 	ov.Settle(2 * time.Minute)
@@ -45,7 +54,7 @@ func TestOverlayWindowsConverge(t *testing.T) {
 }
 
 func TestSpawnDuplicateName(t *testing.T) {
-	ov := New(testOptions(2))
+	ov := newTestOverlay(t, testOptions(2))
 	defer ov.Close()
 	if _, err := ov.Spawn("dup"); err != nil {
 		t.Fatal(err)
@@ -57,7 +66,7 @@ func TestSpawnDuplicateName(t *testing.T) {
 }
 
 func TestPeerLookupAndList(t *testing.T) {
-	ov := New(testOptions(3))
+	ov := newTestOverlay(t, testOptions(3))
 	defer ov.Close()
 	buildPeers(t, ov, "x", "y")
 	if _, ok := ov.Peer("x"); !ok {
@@ -80,7 +89,7 @@ func TestPeerLookupAndList(t *testing.T) {
 }
 
 func TestInfoSelection(t *testing.T) {
-	ov := New(testOptions(4))
+	ov := newTestOverlay(t, testOptions(4))
 	defer ov.Close()
 	peers := buildPeers(t, ov, "p1", "p2", "p3", "p4", "p5")
 	peers[1].SetInfo([]byte("os=linux;disk=2T"))
@@ -132,7 +141,7 @@ func TestWindowHelpers(t *testing.T) {
 }
 
 func TestLeaveRemovesFromWindows(t *testing.T) {
-	ov := New(testOptions(5))
+	ov := newTestOverlay(t, testOptions(5))
 	defer ov.Close()
 	peers := buildPeers(t, ov, "m1", "m2", "m3", "m4")
 	leaverID := peers[2].ID()
@@ -164,27 +173,38 @@ func TestMaxInfoLenExported(t *testing.T) {
 	}
 }
 
-func TestOverlayStats(t *testing.T) {
-	ov := New(testOptions(6))
+func TestOverlayTrafficMetrics(t *testing.T) {
+	ov := newTestOverlay(t, testOptions(6))
 	defer ov.Close()
 	buildPeers(t, ov, "s1", "s2", "s3")
 	ov.Settle(time.Minute)
-	s := ov.Stats()
-	if s.Messages == 0 || s.Bits == 0 {
-		t.Fatalf("no traffic recorded: %+v", s)
+	m := ov.Metrics()
+	var sent, sentBits, dropped uint64
+	for name, v := range m.Counters {
+		switch {
+		case strings.HasPrefix(name, "net.send_bits."):
+			sentBits += v
+		case strings.HasPrefix(name, "net.send."):
+			sent += v
+		case strings.HasPrefix(name, "net.drop."):
+			dropped += v
+		}
 	}
-	if s.Peers != 3 {
-		t.Fatalf("Peers = %d", s.Peers)
+	if sent == 0 || sentBits == 0 {
+		t.Fatalf("no traffic recorded: send=%d bits=%d", sent, sentBits)
 	}
-	if s.Dropped != 0 {
-		t.Fatalf("unexpected drops without loss injection: %d", s.Dropped)
+	if got := m.Gauge("net.hosts"); got != 3 {
+		t.Fatalf("net.hosts = %d", got)
+	}
+	if dropped != 0 {
+		t.Fatalf("unexpected drops without loss injection: %d", dropped)
 	}
 }
 
 func TestOverlayLossInjection(t *testing.T) {
 	o := testOptions(7)
 	o.LossRate = 0.2
-	ov := New(o)
+	ov := newTestOverlay(t, o)
 	defer ov.Close()
 	// With 20% loss individual joins may legitimately exhaust their
 	// retries; keep trying fresh names until three peers are up.
@@ -203,7 +223,13 @@ func TestOverlayLossInjection(t *testing.T) {
 		t.Fatalf("only %d/3 peers joined under 20%% loss", up)
 	}
 	ov.Settle(time.Minute)
-	if ov.Stats().Dropped == 0 {
+	var dropped uint64
+	for name, v := range ov.Metrics().Counters {
+		if strings.HasPrefix(name, "net.drop.") {
+			dropped += v
+		}
+	}
+	if dropped == 0 {
 		t.Fatal("loss injection inactive")
 	}
 }
@@ -211,7 +237,7 @@ func TestOverlayLossInjection(t *testing.T) {
 func TestOverlayTrace(t *testing.T) {
 	o := testOptions(8)
 	o.TraceCapacity = 256
-	ov := New(o)
+	ov := newTestOverlay(t, o)
 	defer ov.Close()
 	buildPeers(t, ov, "t1", "t2", "t3")
 	ov.Settle(time.Minute)
@@ -228,7 +254,7 @@ func TestOverlayTrace(t *testing.T) {
 		t.Fatalf("trace missing kinds:\n%s", out[:min(400, len(out))])
 	}
 	// Without a capacity the dump is a silent no-op.
-	ov2 := New(testOptions(9))
+	ov2 := newTestOverlay(t, testOptions(9))
 	defer ov2.Close()
 	if n, err := ov2.DumpTrace(&buf); n != 0 || err != nil {
 		t.Fatal("trace should be disabled by default")
@@ -243,7 +269,7 @@ func min(a, b int) int {
 }
 
 func TestSpawnWatchedSeesChanges(t *testing.T) {
-	ov := New(testOptions(10))
+	ov := newTestOverlay(t, testOptions(10))
 	defer ov.Close()
 	var mu sync.Mutex
 	var changes []Change
@@ -252,7 +278,7 @@ func TestSpawnWatchedSeesChanges(t *testing.T) {
 		changes = append(changes, c)
 		mu.Unlock()
 	}
-	if _, err := ov.SpawnWatched("watcher", 0, watcher); err != nil {
+	if _, err := ov.Spawn("watcher", WithWatcher(watcher)); err != nil {
 		t.Fatal(err)
 	}
 	ov.Settle(20 * time.Second)
@@ -420,6 +446,33 @@ func TestPeerAndOverlayMetrics(t *testing.T) {
 	// Consistency with the deprecated Stats surface.
 	if s := ov.Stats(); s.Peers != 3 {
 		t.Fatalf("Stats().Peers = %d, want 3", s.Peers)
+	}
+}
+
+// TestDeprecatedWrappers keeps the pre-NewOverlay surface covered: the
+// wrappers stay intact for old callers even though everything else here
+// uses the current API.
+func TestDeprecatedWrappers(t *testing.T) {
+	ov := New(testOptions(77))
+	defer ov.Close()
+	if _, err := ov.SpawnBudget("b", 2e9); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seen := 0
+	watch := func(Change) { mu.Lock(); seen++; mu.Unlock() }
+	if _, err := ov.SpawnWatched("w", 0, watch); err != nil {
+		t.Fatal(err)
+	}
+	ov.Settle(time.Minute)
+	s := ov.Stats()
+	if s.Peers != 2 || s.Messages == 0 {
+		t.Fatalf("Stats() = %+v", s)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if seen == 0 {
+		t.Fatal("SpawnWatched watcher saw nothing")
 	}
 }
 
