@@ -1,0 +1,54 @@
+// Command pwlint runs the project's static-analysis suite — the
+// go/analysis-style checkers in internal/analysis — over the given
+// package patterns (default ./...). It exits non-zero when any
+// diagnostic survives, so CI can gate on it:
+//
+//	go run ./cmd/pwlint ./...
+//
+// Suppress a finding with a //pwlint:allow <analyzer> comment on the
+// offending line or the line above it. See docs/STATIC_ANALYSIS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"peerwindow/internal/analysis"
+)
+
+func main() {
+	listOnly := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: pwlint [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-15s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *listOnly {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	prog, err := analysis.Load(".", flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pwlint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(prog, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pwlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pwlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -15,6 +15,8 @@ import (
 
 	"peerwindow"
 
+	"peerwindow/internal/core"
+	"peerwindow/internal/metrics"
 	"peerwindow/internal/xrand"
 )
 
@@ -111,19 +113,19 @@ func main() {
 	var msgs, bits, dropped uint64
 	for name, v := range m.Counters {
 		switch {
-		case strings.HasPrefix(name, "net.send_bits."):
+		case strings.HasPrefix(name, metrics.MetricNetSendBitsPrefix):
 			bits += v
-		case strings.HasPrefix(name, "net.send."):
+		case strings.HasPrefix(name, metrics.MetricNetSendPrefix):
 			msgs += v
-		case strings.HasPrefix(name, "net.drop."):
+		case strings.HasPrefix(name, metrics.MetricNetDropPrefix):
 			dropped += v
 		}
 	}
 	fmt.Printf("\ntraffic: %d messages, %.1f kbit total, %d dropped\n",
 		msgs, float64(bits)/1000, dropped)
 	fmt.Printf("protocol: %d multicasts originated, %d deliveries, %d ack retries, %d probe failures\n",
-		m.Counter("multicast.originated"), m.Counter("multicast.delivered"),
-		m.Counter("ack.retries"), m.Counter("probe.failures"))
+		m.Counter(core.MetricMulticastOriginated), m.Counter(core.MetricMulticastDelivered),
+		m.Counter(core.MetricAckRetries), m.Counter(core.MetricProbeFailures))
 	if *traceCap > 0 {
 		fmt.Println("\nlast network events:")
 		if _, err := ov.DumpTrace(os.Stdout); err != nil {

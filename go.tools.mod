@@ -1,0 +1,11 @@
+// Tool dependencies only (see tools.go). The main go.mod stays
+// dependency-free; CI materializes go.tools.sum with
+// `go mod tidy -modfile=go.tools.mod` before running the tools.
+module peerwindow
+
+go 1.22
+
+require (
+	golang.org/x/vuln v1.1.3
+	honnef.co/go/tools v0.4.7 // staticcheck 2024.1.1
+)

@@ -1,0 +1,190 @@
+// Package analysistest runs one pwlint analyzer over a self-contained
+// fixture tree and checks its diagnostics against the fixture's
+// annotations, in the style of golang.org/x/tools/go/analysis/analysistest
+// (which this repo deliberately does not depend on). A fixture lives
+// under testdata/src/<name>/ and is copied into a throwaway module named
+// pwfixture, so `go list -export` can compile it offline; expectations
+// are trailing comments of the form
+//
+//	// want "regexp" "another regexp"
+//
+// where each pattern must match the message of exactly one diagnostic
+// reported on that line, and every diagnostic must be matched by a
+// pattern. Lines carrying a //pwlint:allow directive double as the
+// negative tests for the suppression machinery: a suppressed finding
+// needs no want comment, and an unexpected survivor fails the test.
+package analysistest
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"peerwindow/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.+)$`)
+
+// want is one expectation: a pattern at a file:line, consumed by the
+// first diagnostic that matches it.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// Run loads testdata/src/<fixture> as module pwfixture, applies the
+// single analyzer, and reports every mismatch between diagnostics and
+// want annotations through t.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	src := filepath.Join("testdata", "src", fixture)
+	if _, err := os.Stat(src); err != nil {
+		t.Fatalf("fixture %s: %v", fixture, err)
+	}
+	tmp := t.TempDir()
+	if err := copyTree(tmp, src); err != nil {
+		t.Fatalf("copying fixture %s: %v", fixture, err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "go.mod"), []byte("module pwfixture\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	prog, err := analysis.Load(tmp, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags, err := analysis.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, fixture, err)
+	}
+	wants, err := collectWants(tmp)
+	if err != nil {
+		t.Fatalf("parsing want comments in %s: %v", fixture, err)
+	}
+
+	for _, d := range diags {
+		rel, err := filepath.Rel(tmp, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == rel && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s (%s)", rel, d.Pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants scans every .go file under root for want annotations.
+func collectWants(root string) ([]*want, error) {
+	var wants []*want
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pats, err := parsePatterns(m[1])
+			if err != nil {
+				return &wantError{file: rel, line: i + 1, err: err}
+			}
+			for _, p := range pats {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					return &wantError{file: rel, line: i + 1, err: err}
+				}
+				wants = append(wants, &want{file: rel, line: i + 1, re: re})
+			}
+		}
+		return nil
+	})
+	return wants, err
+}
+
+type wantError struct {
+	file string
+	line int
+	err  error
+}
+
+func (e *wantError) Error() string {
+	return e.file + ":" + strconv.Itoa(e.line) + ": " + e.err.Error()
+}
+
+// parsePatterns reads the sequence of Go string literals after "want".
+func parsePatterns(s string) ([]string, error) {
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" && (s[0] == '"' || s[0] == '`') {
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, err
+		}
+		lit, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, err
+		}
+		pats = append(pats, lit)
+		s = strings.TrimSpace(s[len(q):])
+	}
+	return pats, nil
+}
+
+// copyTree copies the fixture sources into dst, preserving layout.
+func copyTree(dst, src string) error {
+	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+}

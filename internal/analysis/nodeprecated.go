@@ -1,0 +1,169 @@
+package analysis
+
+// nodeprecated keeps the PR 2 API migration finished: the deprecated
+// wrappers (peerwindow.New, Overlay.SpawnBudget, Overlay.SpawnWatched,
+// Overlay.Stats and the Stats type) stay exported for external callers,
+// but no code inside this repository may use them — except the defining
+// package itself and its tests, which keep the wrappers covered
+// (TestDeprecatedWrappers). The deprecated set is discovered from the
+// source, not hard-coded: any function, method or type whose doc comment
+// contains a "Deprecated:" paragraph, anywhere in the module, is in it.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoDeprecated forbids in-repo uses of Deprecated-marked symbols outside
+// the defining package and its tests.
+var NoDeprecated = newNoDeprecated()
+
+func newNoDeprecated() *Analyzer {
+	st := &deprecatedState{}
+	return &Analyzer{
+		Name: "nodeprecated",
+		Doc: "forbid in-repo callers of symbols whose doc comment carries a " +
+			"\"Deprecated:\" marker, outside the defining package and its tests " +
+			"(the wrappers exist for external compatibility only)",
+		Init: st.init,
+		Run:  st.run,
+	}
+}
+
+// deprecatedKey identifies a package-level symbol or method.
+type deprecatedKey struct {
+	pkg  string // defining package import path
+	recv string // receiver type name for methods, "" otherwise
+	name string
+}
+
+type deprecatedState struct {
+	symbols map[deprecatedKey]string // key -> deprecation hint
+}
+
+func (st *deprecatedState) init(prog *Program) {
+	st.symbols = make(map[deprecatedKey]string)
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if hint, ok := deprecationHint(d.Doc); ok {
+						st.symbols[deprecatedKey{pkg.BasePath, recvTypeName(d.Recv), d.Name.Name}] = hint
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						doc := ts.Doc
+						if doc == nil && len(d.Specs) == 1 {
+							doc = d.Doc
+						}
+						if hint, ok := deprecationHint(doc); ok {
+							st.symbols[deprecatedKey{pkg.BasePath, "", ts.Name.Name}] = hint
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// deprecationHint extracts the first "Deprecated:" line of a doc
+// comment.
+func deprecationHint(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "Deprecated:"); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// recvTypeName returns the receiver's base type name ("Overlay" for
+// *Overlay), or "" for plain functions.
+func recvTypeName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func (st *deprecatedState) run(pass *Pass) error {
+	for id, obj := range pass.Pkg.Info.Uses {
+		key, ok := objectKey(obj)
+		if !ok {
+			continue
+		}
+		hint, deprecated := st.symbols[key]
+		if !deprecated {
+			continue
+		}
+		// The defining package and its test variants may keep using (and
+		// covering) their own deprecated wrappers.
+		if pass.Pkg.BasePath == key.pkg || pass.Pkg.ForTest == key.pkg {
+			continue
+		}
+		msg := symbolName(key) + " is deprecated"
+		if hint != "" {
+			msg += ": " + hint
+		}
+		pass.Reportf(id.Pos(), "%s", msg)
+	}
+	return nil
+}
+
+// objectKey maps a used object back to a deprecatedKey, when it is a
+// package-level function, method or type name.
+func objectKey(obj types.Object) (deprecatedKey, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return deprecatedKey{}, false
+	}
+	switch o := obj.(type) {
+	case *types.Func:
+		recv := ""
+		if sig, ok := o.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if ptr, isPtr := t.(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return deprecatedKey{}, false
+			}
+			recv = named.Obj().Name()
+		}
+		return deprecatedKey{o.Pkg().Path(), recv, o.Name()}, true
+	case *types.TypeName:
+		return deprecatedKey{o.Pkg().Path(), "", o.Name()}, true
+	}
+	return deprecatedKey{}, false
+}
+
+func symbolName(key deprecatedKey) string {
+	short := key.pkg
+	if i := strings.LastIndexByte(short, '/'); i >= 0 {
+		short = short[i+1:]
+	}
+	if key.recv != "" {
+		return short + "." + key.recv + "." + key.name
+	}
+	return short + "." + key.name
+}

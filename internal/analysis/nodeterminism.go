@@ -1,0 +1,100 @@
+package analysis
+
+// nodeterminism guards the property the whole experiment harness rests
+// on: a simulation run is a pure function of its seed. internal/core,
+// internal/des and internal/sim must draw time only from the DES virtual
+// clock (Env.Now / Engine.Now), randomness only from internal/xrand, and
+// run on a single logical thread. One stray time.Now() or untracked
+// goroutine silently breaks run-for-run reproducibility — and with it
+// the PR 3 trace oracle, which freezes audiences at origin time and
+// expects replays to be bit-identical.
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// deterministicPkgSuffixes names the packages under the determinism
+// contract. Matching is by import-path suffix so analysistest fixtures
+// (whose module is not "peerwindow") fall under the same rule.
+var deterministicPkgSuffixes = []string{
+	"internal/core",
+	"internal/des",
+	"internal/sim",
+}
+
+// forbiddenTimeFuncs are the package-level wall-clock entry points of
+// package time. time.Duration and the time.Time type are fine (des.Time
+// converts through them for printing); reading or waiting on the wall
+// clock is not.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// NoDeterminism forbids wall-clock time, global math/rand and goroutines
+// inside the deterministic simulation packages.
+var NoDeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc: "forbid time.Now/time.Since and friends, math/rand, and goroutines in " +
+		"internal/core, internal/des and internal/sim; the simulation must stay a " +
+		"pure function of its seed (use des virtual time, internal/xrand, and the " +
+		"DES engine; escape hatch: //pwlint:allow nodeterminism)",
+	Run: runNoDeterminism,
+}
+
+func inDeterministicScope(pkg *Package) bool {
+	base := strings.TrimSuffix(pkg.BasePath, "_test")
+	for _, suffix := range deterministicPkgSuffixes {
+		if base == suffix || strings.HasSuffix(base, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runNoDeterminism(pass *Pass) error {
+	if !inDeterministicScope(pass.Pkg) {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %q in deterministic package: global math/rand is not seed-reproducible, use internal/xrand", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(),
+					"goroutine started in deterministic package: concurrency breaks the single-threaded DES replay (schedule through the engine instead)")
+			case *ast.SelectorExpr:
+				obj := info.Uses[n.Sel]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				if _, isFunc := obj.(*types.Func); !isFunc {
+					return true
+				}
+				if obj.Pkg().Path() == "time" && forbiddenTimeFuncs[obj.Name()] {
+					pass.Reportf(n.Pos(),
+						"time.%s in deterministic package: wall-clock time breaks seed reproducibility, use the virtual clock (Env.Now / des.Time)", obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// Package locksafe exercises the held-lock analysis: blocking calls and
+// channel operations inside critical sections are findings, the
+// copy-release-then-block shape is clean.
+package locksafe
+
+import "sync"
+
+type transport struct{}
+
+func (transport) Send(b []byte) {}
+
+type host struct {
+	mu    sync.Mutex
+	state sync.RWMutex
+	tr    transport
+	peers []string
+	ch    chan int
+}
+
+func (h *host) badSend(b []byte) {
+	h.mu.Lock()
+	h.tr.Send(b) // want `call to blocking \(locksafe\) Send while h\.mu is held`
+	h.mu.Unlock()
+}
+
+func (h *host) badChannelOps() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ch <- 1 // want `channel send while h\.mu is held`
+	<-h.ch    // want `channel receive while h\.mu is held`
+}
+
+func (h *host) badUnderRLock(b []byte) {
+	h.state.RLock()
+	h.tr.Send(b) // want `call to blocking \(locksafe\) Send while h\.state is held`
+	h.state.RUnlock()
+}
+
+func (h *host) badSelect() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select { // want `select \(a blocking channel operation\) while h\.mu is held`
+	case v := <-h.ch:
+		_ = v
+	default:
+	}
+}
+
+// goodCopyThenSend is the required shape: snapshot under the lock,
+// release, then do the blocking work.
+func (h *host) goodCopyThenSend(b []byte) {
+	h.mu.Lock()
+	peers := append([]string(nil), h.peers...)
+	h.mu.Unlock()
+	_ = peers
+	h.tr.Send(b)
+	h.ch <- 1
+}
+
+// goodEarlyUnlockBranches releases on every path before blocking.
+func (h *host) goodEarlyUnlockBranches(b []byte) {
+	h.mu.Lock()
+	if len(h.peers) == 0 {
+		h.mu.Unlock()
+		return
+	}
+	h.mu.Unlock()
+	h.tr.Send(b)
+}
+
+// goodLiteralIsOwnContext: the function literal does not run while the
+// lock is held, it only gets built there.
+func (h *host) goodLiteralIsOwnContext(b []byte) func() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return func() { h.tr.Send(b) }
+}
+
+func (h *host) allowedSend(b []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.tr.Send(b) //pwlint:allow locksafe this transport send is non-blocking
+}

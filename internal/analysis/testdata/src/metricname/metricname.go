@@ -1,0 +1,59 @@
+// Package metricname exercises the metric naming rules against a local
+// stand-in Registry (the analyzer matches registrar methods by receiver
+// type name, so this fixture needs no imports from the real repo).
+package metricname
+
+import "io"
+
+type Counter struct{}
+
+func (*Counter) Inc() {}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter   { return nil }
+func (r *Registry) Gauge(name string) *Counter     { return nil }
+func (r *Registry) Histogram(name string) *Counter { return nil }
+
+func (r *Registry) WritePrometheus(w io.Writer, prefix string) {}
+
+// The canonical shape: one Metric* constant per instrument, prefix
+// constants end in a dot.
+const (
+	MetricProbeRounds   = "probe.rounds"
+	MetricNetSendPrefix = "net.send."
+)
+
+// Declaring the same metric name twice silently aliases two
+// instruments; every declaration of the value is reported.
+const (
+	MetricAckDelay      = "ack.delay" // want `"ack\.delay" declared more than once`
+	MetricAckDelayAlias = "ack.delay" // want `"ack\.delay" declared more than once`
+)
+
+// Shape violations, each reported at the declaration.
+const (
+	MetricBadCase    = "Probe.Rounds"   // want `not lowercase dotted snake_case`
+	MetricBakedPw    = "pw.probe.count" // want `bakes in the pw namespace`
+	MetricBadPrefix  = "net.recv"       // want `must end in '\.'`
+	MetricOkUnder    = "probe.detect_latency_seconds"
+	MetricRecvPrefix = MetricBadPrefix + "." // composed constants are still constants
+)
+
+const looseName = "probe.other"
+
+func register(r *Registry) {
+	r.Counter(MetricProbeRounds)
+	r.Gauge(MetricOkUnder)
+	r.Histogram(MetricRecvPrefix + "event")
+	r.Counter(MetricNetSendPrefix + "event")
+	r.Counter("probe.loose")           // want `loose string literal`
+	r.Gauge("x" + MetricNetSendPrefix) // want `dynamically built metric name`
+	r.Counter(looseName)               // want `must be named Metric\*`
+	r.Counter("adhoc.experiment")      //pwlint:allow metricname one-off experiment counter
+}
+
+func expose(r *Registry, w io.Writer) {
+	r.WritePrometheus(w, "pw")
+	r.WritePrometheus(w, "peerwindow") // want `the exposition namespace is always "pw"`
+}

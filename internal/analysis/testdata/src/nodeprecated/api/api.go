@@ -1,0 +1,28 @@
+// Package api declares a current surface plus deprecated wrappers; the
+// analyzer discovers the deprecated set from the doc comments.
+package api
+
+// Old is the legacy constructor.
+//
+// Deprecated: use New.
+func Old() int { return New() }
+
+// New is the current constructor.
+func New() int { return 0 }
+
+// Options is the legacy configuration bag.
+//
+// Deprecated: use Config.
+type Options struct{}
+
+// Config is the current configuration bag.
+type Config struct{}
+
+// Client is a handle with one deprecated method.
+type Client struct{}
+
+// Deprecated: use Run.
+func (c *Client) Go() {}
+
+// Run is the current entry point.
+func (c *Client) Run() {}

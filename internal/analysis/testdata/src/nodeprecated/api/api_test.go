@@ -1,0 +1,14 @@
+package api
+
+import "testing"
+
+// The defining package keeps its deprecated wrappers covered; these uses
+// are exempt.
+func TestOldWrapperStillWorks(t *testing.T) {
+	if Old() != New() {
+		t.Fatal("old wrapper diverged from the current constructor")
+	}
+	_ = Options{}
+	var c Client
+	c.Go()
+}

@@ -1,0 +1,23 @@
+// Package client is an in-repo consumer: any use of api's deprecated
+// symbols here is a finding.
+package client
+
+import "pwfixture/api"
+
+func Use() int {
+	_ = api.Options{} // want `api\.Options is deprecated: use Config\.`
+	var c api.Client
+	c.Go()           // want `api\.Client\.Go is deprecated: use Run\.`
+	return api.Old() // want `api\.Old is deprecated: use New\.`
+}
+
+func UseCurrent() int {
+	_ = api.Config{}
+	var c api.Client
+	c.Run()
+	return api.New()
+}
+
+func MigrationPending() int {
+	return api.Old() //pwlint:allow nodeprecated migration tracked separately
+}

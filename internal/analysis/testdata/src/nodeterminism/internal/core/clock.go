@@ -1,0 +1,35 @@
+// Package core stands in for a deterministic simulation package: its
+// import path ends in internal/core, so the nodeterminism analyzer
+// applies in full.
+package core
+
+import (
+	"math/rand" // want `global math/rand is not seed-reproducible`
+	"time"
+)
+
+func elapsed() time.Duration {
+	start := time.Now() // want `time\.Now in deterministic package`
+	go purge()          // want `goroutine started in deterministic package`
+	_ = rand.Int()
+	return time.Since(start) // want `time\.Since in deterministic package`
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in deterministic package`
+}
+
+func purge() {}
+
+// durations only: time.Duration values and arithmetic are fine, the
+// analyzer only rejects the wall-clock entry points.
+func okDurations(d time.Duration) time.Duration {
+	return d + 2*time.Second
+}
+
+func allowedEscapes() {
+	//pwlint:allow nodeterminism cross-run parallelism helper
+	go purge()
+	now := time.Now() //pwlint:allow nodeterminism wall clock used for logging only
+	_ = now
+}

@@ -1,0 +1,15 @@
+// Package outside is not under the determinism contract: wall-clock
+// time, goroutines and math/rand are all fine here and must produce no
+// diagnostics.
+package outside
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Uptime(start time.Time) time.Duration {
+	go func() {}()
+	_ = rand.Int()
+	return time.Since(start)
+}

@@ -356,6 +356,7 @@ func RunParallel(n, workers int, task func(i int)) {
 	next := make(chan int)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		//pwlint:allow nodeterminism — cross-run parallelism; each task runs its own engine
 		go func() {
 			defer wg.Done()
 			for i := range next {

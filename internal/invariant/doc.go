@@ -1,0 +1,13 @@
+// Package invariant is the build-tag-gated front door to the protocol's
+// deep invariant checks. The checks themselves (core.Node.CheckInvariants
+// and core.PeerList.CheckInvariants) are always compiled so unit tests
+// can exercise them; this package decides whether they run. Under the
+// default build, Check is a no-op the compiler erases. Under
+//
+//	go test -tags pwinvariants -race ./internal/sim -run TestCluster
+//
+// the simulation cluster calls Check on a node after every applied
+// message and every fired timer, so a seeded churn run validates the
+// peer-list ordering, level-index, eigenstring-prefix and ring-successor
+// invariants end to end. See docs/STATIC_ANALYSIS.md.
+package invariant

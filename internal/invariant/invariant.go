@@ -1,0 +1,32 @@
+//go:build pwinvariants
+
+package invariant
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"peerwindow/internal/core"
+)
+
+// Enabled reports whether deep invariant checking is compiled in.
+const Enabled = true
+
+// checks counts Check calls; atomic because des.RunParallel may drive
+// several independent engines at once.
+var checks atomic.Uint64
+
+// Check panics when n violates a protocol invariant. It is called from
+// the simulation harness after every applied event, so the panic's stack
+// points at the mutation that broke the state.
+func Check(n *core.Node) {
+	checks.Add(1)
+	if err := n.CheckInvariants(); err != nil {
+		panic(fmt.Sprintf("pwinvariants: node %v level %d: %v",
+			n.Self().ID, n.Level(), err))
+	}
+}
+
+// Checks returns how many invariant checks have run in this process —
+// tests assert it is non-zero to prove the hooks actually fired.
+func Checks() uint64 { return checks.Load() }

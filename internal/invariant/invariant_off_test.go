@@ -1,0 +1,18 @@
+//go:build !pwinvariants
+
+package invariant
+
+import "testing"
+
+// Under the default build the checker must be inert: no work, no state,
+// safe on any input (the sim hooks guard on Enabled, but a stray direct
+// call must not blow up either).
+func TestDisabledCheckerIsInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled true without the pwinvariants tag")
+	}
+	Check(nil)
+	if got := Checks(); got != 0 {
+		t.Fatalf("Checks() = %d under the default build, want 0", got)
+	}
+}

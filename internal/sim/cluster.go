@@ -21,6 +21,7 @@ import (
 
 	"peerwindow/internal/core"
 	"peerwindow/internal/des"
+	"peerwindow/internal/invariant"
 	"peerwindow/internal/nodeid"
 	"peerwindow/internal/oracle"
 	"peerwindow/internal/topology"
@@ -359,6 +360,9 @@ func (sn *SimNode) Send(msg wire.Message) {
 	c.Engine.After(lat, func() {
 		if dst.alive {
 			dst.Node.HandleMessage(msg)
+			if invariant.Enabled {
+				invariant.Check(dst.Node)
+			}
 		}
 	})
 }
@@ -373,6 +377,9 @@ func (sn *SimNode) SetTimer(delay des.Time, fn func()) core.Timer {
 	h := sn.c.Engine.After(delay, func() {
 		if sn.alive {
 			fn()
+			if invariant.Enabled && sn.alive {
+				invariant.Check(sn.Node)
+			}
 		}
 	})
 	return simTimer{h: h}

@@ -44,11 +44,11 @@ func newTypeCounters(reg *metrics.Registry) typeCounters {
 	var tc typeCounters
 	for t := wire.MsgEvent; t <= wire.MsgTopListResp; t++ {
 		name := t.String()
-		tc.send[t] = reg.Counter("net.send." + name)
-		tc.recv[t] = reg.Counter("net.recv." + name)
-		tc.drop[t] = reg.Counter("net.drop." + name)
-		tc.sendBits[t] = reg.Counter("net.send_bits." + name)
-		tc.recvBits[t] = reg.Counter("net.recv_bits." + name)
+		tc.send[t] = reg.Counter(metrics.MetricNetSendPrefix + name)
+		tc.recv[t] = reg.Counter(metrics.MetricNetRecvPrefix + name)
+		tc.drop[t] = reg.Counter(metrics.MetricNetDropPrefix + name)
+		tc.sendBits[t] = reg.Counter(metrics.MetricNetSendBitsPrefix + name)
+		tc.recvBits[t] = reg.Counter(metrics.MetricNetRecvBitsPrefix + name)
 	}
 	return tc
 }
@@ -154,7 +154,7 @@ func (n *Network) Metrics() metrics.Snapshot {
 	n.mu.Lock()
 	hosts := len(n.hosts)
 	n.mu.Unlock()
-	n.reg.Gauge("net.hosts").Set(int64(hosts))
+	n.reg.Gauge(metrics.MetricNetHosts).Set(int64(hosts))
 	return n.reg.Snapshot()
 }
 

@@ -101,12 +101,12 @@ func Listen(addr, name string, budget float64, cfg core.Config) (*Node, error) {
 		reg:   metrics.NewRegistry(),
 	}
 	for t := wire.MsgEvent; t <= wire.MsgTopListResp; t++ {
-		n.send[t] = n.reg.Counter("net.send." + t.String())
-		n.recv[t] = n.reg.Counter("net.recv." + t.String())
+		n.send[t] = n.reg.Counter(metrics.MetricNetSendPrefix + t.String())
+		n.recv[t] = n.reg.Counter(metrics.MetricNetRecvPrefix + t.String())
 	}
-	n.sendBytes = n.reg.Counter("net.send_bytes")
-	n.recvBytes = n.reg.Counter("net.recv_bytes")
-	n.garbage = n.reg.Counter("net.garbage_datagrams")
+	n.sendBytes = n.reg.Counter(metrics.MetricNetSendBytes)
+	n.recvBytes = n.reg.Counter(metrics.MetricNetRecvBytes)
+	n.garbage = n.reg.Counter(metrics.MetricNetGarbage)
 	n.self = wire.Pointer{
 		Addr: wire.AddrFromIPv4(ip, uint16(local.Port)),
 		ID:   nodeid.Hash([]byte(fmt.Sprintf("%s@%s", name, local))),
@@ -295,7 +295,7 @@ func (n *Node) BulkSends() uint64 { return atomic.LoadUint64(&n.bulkSends) }
 func (n *Node) MetricsSnapshot() metrics.Snapshot {
 	var s metrics.Snapshot
 	n.call(func() { s = n.node.MetricsSnapshot() })
-	n.reg.Gauge("net.bulk_sends").Set(int64(n.BulkSends()))
+	n.reg.Gauge(metrics.MetricNetBulkSends).Set(int64(n.BulkSends()))
 	s.Merge(n.reg.Snapshot())
 	return s
 }

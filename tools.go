@@ -1,0 +1,20 @@
+//go:build tools
+
+// Package tools pins the CI tooling (staticcheck, govulncheck) as
+// tracked dependencies instead of floating `go run pkg@version`
+// invocations. The pins live in go.tools.mod — a separate modfile so the
+// main module stays dependency-free — and CI invokes them with
+//
+//	go mod tidy -modfile=go.tools.mod
+//	go run -modfile=go.tools.mod honnef.co/go/tools/cmd/staticcheck ./...
+//	go run -modfile=go.tools.mod golang.org/x/vuln/cmd/govulncheck ./...
+//
+// The tools build tag keeps this file out of every normal build; its
+// imports exist only so `go mod tidy -modfile=go.tools.mod` can see what
+// to retain.
+package tools
+
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
