@@ -202,6 +202,7 @@ func (prog *Program) allowed(d Diagnostic) bool {
 func All() []*Analyzer {
 	return []*Analyzer{
 		NoDeterminism,
+		SchedPure,
 		LockSafe,
 		MetricName,
 		NoDeprecated,

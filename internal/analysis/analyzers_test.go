@@ -15,6 +15,10 @@ func TestNoDeterminism(t *testing.T) {
 	analysistest.Run(t, analysis.NoDeterminism, "nodeterminism")
 }
 
+func TestSchedPure(t *testing.T) {
+	analysistest.Run(t, analysis.SchedPure, "schedpure")
+}
+
 func TestLockSafe(t *testing.T) {
 	analysistest.Run(t, analysis.LockSafe, "locksafe")
 }

@@ -1,0 +1,36 @@
+// Package core stands in for the protocol core: its import path ends in
+// internal/core, so schedpure's Env-only contract applies in full.
+package core
+
+import (
+	"pwfixture/internal/des"
+)
+
+// Env mirrors the capability surface the real core.Env offers.
+type Env interface {
+	Now() des.Time
+	SetTimer(delay des.Time, fn func()) interface{ Cancel() bool }
+}
+
+// okValues: the des.Time vocabulary is allowed — unit, constants,
+// conversions.
+func okValues(env Env) des.Time {
+	deadline := env.Now() + 2*des.Second + des.FromSeconds(0.5)
+	_ = deadline.Seconds() // Time methods are value vocabulary, not engine
+	return deadline / des.Millisecond
+}
+
+// badEngine reaches past Env into the engine itself.
+func badEngine() {
+	eng := des.New()  // want `des\.New in internal/core`
+	_ = eng.Now()     // want `des\.Now in internal/core`
+	var e *des.Engine // want `des\.Engine in internal/core`
+	_ = e
+	var h des.Handle // want `des\.Handle in internal/core`
+	_ = h
+}
+
+func allowedEscape() {
+	//pwlint:allow schedpure bench harness plumbing
+	_ = des.New()
+}

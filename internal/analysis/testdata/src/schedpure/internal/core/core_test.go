@@ -1,0 +1,18 @@
+package core
+
+// Tests are the harness, not the protocol: they may drive a real engine
+// directly, so none of these references are diagnosed.
+
+import (
+	"testing"
+
+	"pwfixture/internal/des"
+)
+
+func TestDrivesEngineDirectly(t *testing.T) {
+	eng := des.New()
+	eng.After(des.Second, func() {})
+	if eng.Now() != 0 {
+		t.Fatal("fresh engine clock not zero")
+	}
+}

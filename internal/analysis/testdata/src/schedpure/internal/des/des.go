@@ -1,0 +1,37 @@
+// Package des stands in for the discrete-event engine: its import path
+// ends in internal/des, so the schedpure vocabulary rule applies to its
+// users.
+package des
+
+// Time is the virtual-time unit — the one piece of des that the
+// protocol core may use.
+type Time int64
+
+const (
+	Millisecond Time = 1_000_000
+	Second           = 1000 * Millisecond
+)
+
+// FromSeconds converts; part of the allowed value vocabulary.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Seconds converts back; methods on the Time value are allowed too.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Engine is the event loop the core must never touch.
+type Engine struct{ now Time }
+
+// New builds an engine.
+func New() *Engine { return &Engine{} }
+
+// Now reads the engine clock.
+func (e *Engine) Now() Time { return e.now }
+
+// After schedules an event.
+func (e *Engine) After(d Time, fn func()) Handle { return Handle{} }
+
+// Handle cancels a scheduled event.
+type Handle struct{}
+
+// Cancel stops the event.
+func (h Handle) Cancel() bool { return false }

@@ -1,0 +1,15 @@
+// Package outside is not internal/core: the harness, the simulator and
+// the checker legitimately own the engine, so nothing here is diagnosed.
+package outside
+
+import (
+	"pwfixture/internal/des"
+)
+
+// Drive owns an engine end to end.
+func Drive() des.Time {
+	eng := des.New()
+	h := eng.After(2*des.Second, func() {})
+	h.Cancel()
+	return eng.Now()
+}

@@ -178,6 +178,8 @@ func (n *Node) joinStep4(top wire.Pointer, done func(error)) {
 	n.sendReliable(msg, n.cfg.RetryAttempts,
 		func(wire.Message) {
 			n.joined = true
+			n.joinedAt = n.env.Now()
+			n.joinTop = top
 			n.startTimers()
 			if n.warmTarget >= 0 && n.warmTarget < n.Level() {
 				n.env.SetTimer(n.cfg.ShiftCheckInterval, n.warmUpStep)
@@ -191,16 +193,36 @@ func (n *Node) joinStep4(top wire.Pointer, done func(error)) {
 	)
 }
 
-// reconcile performs one anti-entropy pass against a stronger (or top)
-// node: re-download the peer list for our eigenstring and fix both error
-// kinds — upsert what we miss, drop what the donor no longer has. It runs
-// once, ReconcileDelay after a successful join, to close the join window
-// (see Config.ReconcileDelay).
+// reconcile performs one anti-entropy pass: re-download the peer list
+// for our eigenstring and fix both error kinds — upsert what we miss,
+// drop what the donor no longer has. It runs once, ReconcileDelay after a
+// successful join, to close the join window (see Config.ReconcileDelay).
+//
+// The donor is the top node that served our join snapshot: its list is
+// the baseline our join window is measured against, so pulling from it
+// covers every event it has applied since. An arbitrary equal-level peer
+// would not do — it may itself be a younger joiner whose own join window
+// is still open, and a pull from it teaches us nothing it missed too.
+// Only when the join top is gone do we fall back to the strongest peer
+// or the top-node list.
 func (n *Node) reconcile() {
 	if n.stopped || !n.joined {
 		return
 	}
 	n.m.reconcileRuns.Inc()
+	if n.joinTop.Addr != 0 {
+		n.reconcileFrom(n.joinTop, n.reconcileFallback)
+		return
+	}
+	n.reconcileFallback()
+}
+
+// reconcileFallback is the donor choice when the join top is unknown or
+// unreachable: a stronger peer, or a top-list entry.
+func (n *Node) reconcileFallback() {
+	if n.stopped || !n.joined {
+		return
+	}
 	donor, ok := n.peers.Strongest()
 	if !ok || int(donor.Level) > n.Level() {
 		if len(n.topList) == 0 {
@@ -208,7 +230,16 @@ func (n *Node) reconcile() {
 		}
 		donor = n.topList[0]
 	}
-	asked := n.env.Now()
+	if donor.ID == n.joinTop.ID {
+		return // already tried and failed; leave the window open
+	}
+	n.reconcileFrom(donor, nil)
+}
+
+// reconcileFrom runs the download-and-merge against one donor. onFail,
+// when non-nil, is invoked if the donor never answers; a nil onFail makes
+// the pass best-effort (a failed reconcile just leaves the window open).
+func (n *Node) reconcileFrom(donor wire.Pointer, onFail func()) {
 	msg := wire.Message{Type: wire.MsgPeerListReq, To: donor.Addr, Sender: n.self}
 	n.sendReliable(msg, n.cfg.RetryAttempts,
 		func(resp wire.Message) {
@@ -222,11 +253,15 @@ func (n *Node) reconcile() {
 				}
 			}
 			n.applyPointers(resp.Pointers, true)
-			// Entries the donor lacks and that predate our request are
-			// stale copies from the join snapshot.
+			// Entries the donor lacks and that we have not seen since our
+			// own join completed are stale copies from the join snapshot.
+			// Pointers refreshed by a live event after joinedAt are kept
+			// even when the donor lacks them: the donor's own join window
+			// may still be open, and dropping a live member on its word
+			// would trade our error for a copy of its.
 			var drop []nodeid.ID
 			n.peers.ForEach(func(p wire.Pointer, _, lastSeen des.Time) {
-				if !inResp[p.ID] && lastSeen < asked && p.ID != donor.ID {
+				if !inResp[p.ID] && lastSeen <= n.joinedAt && p.ID != donor.ID {
 					drop = append(drop, p.ID)
 				}
 			})
@@ -240,7 +275,7 @@ func (n *Node) reconcile() {
 				}
 			}
 		},
-		nil, // best-effort: a failed reconcile just leaves the window open
+		onFail,
 	)
 }
 

@@ -87,6 +87,16 @@ type Node struct {
 	joined  bool
 	stopped bool
 
+	// joinedAt is when joinStep4 completed (zero for Bootstrap/Restore).
+	// The reconcile pass uses it to tell join-snapshot leftovers from
+	// pointers learned live through events (see reconcile).
+	joinedAt des.Time
+	// joinTop is the top node that served our join snapshot and applied
+	// our join event — the node whose list bounds our join window. The
+	// reconcile pass pulls from it first: an arbitrary equal-level peer
+	// may itself be a younger joiner whose own window is still open.
+	joinTop wire.Pointer
+
 	// warmTarget, when >= 0, is the level the node is still warming up
 	// toward (§4.3 warm-up); -1 otherwise.
 	warmTarget int
@@ -235,7 +245,13 @@ func (n *Node) Snapshot() (level int, peers, tops []wire.Pointer) {
 }
 
 // Leave announces a voluntary departure to the audience set and stops the
-// node.
+// node. A leaving top node hands the event to another top node instead of
+// originating the multicast itself: Stop cancels all pending retry
+// timers, so a self-originated multicast loses its per-hop reliability
+// and a single dropped hop would orphan a whole subtree with a stale
+// pointer — one that ring probing can no longer reach (the survivors that
+// applied the leave have already routed around us, so the corpse is
+// nobody's successor). A surviving originator keeps retrying.
 func (n *Node) Leave() {
 	if !n.joined || n.stopped {
 		n.Stop()
@@ -243,7 +259,12 @@ func (n *Node) Leave() {
 	}
 	n.seq++
 	ev := wire.Event{Kind: wire.EventLeave, Subject: n.self, Seq: n.seq}
-	n.report(ev, n.newTrace())
+	tid := n.newTrace()
+	if tops := n.shuffledTops(); n.isTopNode() && len(tops) > 0 {
+		n.reportVia(ev, tid, tops, false)
+	} else {
+		n.report(ev, tid)
+	}
 	n.Stop()
 }
 

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 )
@@ -70,6 +71,51 @@ type event struct {
 	seq uint64
 	fn  func()
 	gen uint32
+	tag EventTag
+}
+
+// EventTag annotates a scheduled event for choosers: which entity the
+// event belongs to and what class of work it is. The engine itself gives
+// tags no meaning; they exist so a Chooser (the model checker's
+// interposition point) can tell a message delivery at node 3 from a
+// timer at node 1 without inspecting closures. The zero tag marks
+// harness-internal events a chooser should not reorder.
+type EventTag struct {
+	// Owner identifies the entity the event acts on (the simulator uses
+	// the destination node's address); 0 means untagged.
+	Owner uint64
+	// Kind is a caller-defined class (the simulator uses "delivery" vs
+	// "timer"); 0 means untagged.
+	Kind uint8
+}
+
+// Choice describes one runnable event offered to a Chooser, identified
+// by its scheduling sequence number (unique per engine).
+type Choice struct {
+	At  Time
+	Seq uint64
+	Tag EventTag
+}
+
+// Decision is a Chooser's verdict for one step: fire (or drop) the
+// event at Index in the offered choice slice.
+type Decision struct {
+	Index int
+	// Drop discards the chosen event without running it — the model
+	// checker's network-loss branch. Dropping is only meaningful for
+	// events whose effect is optional (message deliveries); dropping a
+	// timer deadlocks the protocol machinery that armed it.
+	Drop bool
+}
+
+// Chooser picks which runnable event fires next, turning the engine's
+// fixed (time, seq) order into an explorable choice point. The chosen
+// event executes at max(Now, Choice.At): picking a later event first
+// models the earlier one (a message in flight, say) being delayed, and
+// the skipped event stays runnable and fires late when eventually
+// chosen. Virtual time never runs backwards.
+type Chooser interface {
+	Choose(now Time, choices []Choice) Decision
 }
 
 // compactMinDead is the floor below which compaction is never
@@ -102,6 +148,20 @@ func (h Handle) Cancel() bool {
 	return true
 }
 
+// Seq returns the engine-wide scheduling sequence number of the event —
+// the same number a Chooser sees in Choice.Seq — or 0 when the handle is
+// zero or the event already fired or was cancelled.
+func (h Handle) Seq() uint64 {
+	if h.e == nil {
+		return 0
+	}
+	ev := &h.e.slab[h.slot]
+	if ev.gen != h.gen || ev.fn == nil {
+		return 0
+	}
+	return ev.seq
+}
+
 // Pending reports whether the event is still scheduled to fire.
 func (h Handle) Pending() bool {
 	if h.e == nil {
@@ -124,7 +184,14 @@ type Engine struct {
 	live      int // queued events that have not been cancelled
 	executed  uint64
 	cancelled uint64
+	dropped   uint64
 	running   bool
+
+	// chooser, when set, decides which runnable event each Step fires
+	// (see Chooser); choiceBuf and choiceSlots are its scratch space.
+	chooser     Chooser
+	choiceBuf   []Choice
+	choiceSlots []int32
 }
 
 // New returns an Engine with the clock at zero and no pending events.
@@ -254,6 +321,12 @@ func (e *Engine) maybeCompact() {
 // past (t < Now) panics: in a discrete-event simulation that is always a
 // logic bug, and silently clamping would mask it.
 func (e *Engine) At(t Time, fn func()) Handle {
+	return e.AtTag(t, EventTag{}, fn)
+}
+
+// AtTag schedules fn at absolute time t, annotated with tag for
+// choosers. Untagged callers should use At.
+func (e *Engine) AtTag(t Time, tag EventTag, fn func()) Handle {
 	if fn == nil {
 		panic("des: At with nil callback")
 	}
@@ -265,6 +338,7 @@ func (e *Engine) At(t Time, fn func()) Handle {
 	ev.at = t
 	ev.seq = e.seq
 	ev.fn = fn
+	ev.tag = tag
 	e.seq++
 	e.heap = append(e.heap, s)
 	e.siftUp(len(e.heap) - 1)
@@ -274,15 +348,92 @@ func (e *Engine) At(t Time, fn func()) Handle {
 
 // After schedules fn to run delay after the current virtual time.
 func (e *Engine) After(delay Time, fn func()) Handle {
+	return e.AfterTag(delay, EventTag{}, fn)
+}
+
+// AfterTag schedules fn delay after the current virtual time, annotated
+// with tag for choosers.
+func (e *Engine) AfterTag(delay Time, tag EventTag, fn func()) Handle {
 	if delay < 0 {
 		panic("des: negative delay")
 	}
-	return e.At(e.now+delay, fn)
+	return e.AtTag(e.now+delay, tag, fn)
 }
 
-// Step executes the single earliest pending event. It reports false when
-// no live events remain.
+// SetChooser installs (or, with nil, removes) the scheduling chooser.
+// With a chooser installed, every Step offers the full runnable set and
+// fires whichever event the chooser picks; without one, Step keeps the
+// default deterministic (time, seq) order. Installing a chooser does not
+// disturb pending events, so an explorer can hand a half-run engine back
+// to deterministic draining by clearing it.
+func (e *Engine) SetChooser(c Chooser) { e.chooser = c }
+
+// Dropped returns how many events a chooser has discarded via
+// Decision.Drop.
+func (e *Engine) Dropped() uint64 { return e.dropped }
+
+// Runnable returns the live pending events as choices in canonical
+// (time, seq) order — the exact slice a chooser would be offered next.
+// The result is valid until the next scheduling call.
+func (e *Engine) Runnable() []Choice {
+	e.collectRunnable()
+	return e.choiceBuf
+}
+
+// NextAt returns the scheduled time of the earliest live event, skimming
+// cancelled corpses off the heap as a side effect. ok is false when no
+// live events remain.
+func (e *Engine) NextAt() (t Time, ok bool) {
+	for len(e.heap) > 0 {
+		top := &e.slab[e.heap[0]]
+		if top.fn == nil {
+			e.release(e.popMin())
+			continue
+		}
+		return top.at, true
+	}
+	return 0, false
+}
+
+// collectRunnable fills choiceBuf/choiceSlots with the live events in
+// (time, seq) order.
+func (e *Engine) collectRunnable() {
+	e.choiceBuf = e.choiceBuf[:0]
+	e.choiceSlots = e.choiceSlots[:0]
+	for _, s := range e.heap {
+		ev := &e.slab[s]
+		if ev.fn == nil {
+			continue
+		}
+		e.choiceBuf = append(e.choiceBuf, Choice{At: ev.at, Seq: ev.seq, Tag: ev.tag})
+		e.choiceSlots = append(e.choiceSlots, s)
+	}
+	sort.Sort(&runnableSort{e})
+}
+
+// runnableSort orders choiceBuf and choiceSlots together by (at, seq).
+type runnableSort struct{ e *Engine }
+
+func (r *runnableSort) Len() int { return len(r.e.choiceBuf) }
+func (r *runnableSort) Less(i, j int) bool {
+	a, b := &r.e.choiceBuf[i], &r.e.choiceBuf[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.Seq < b.Seq
+}
+func (r *runnableSort) Swap(i, j int) {
+	r.e.choiceBuf[i], r.e.choiceBuf[j] = r.e.choiceBuf[j], r.e.choiceBuf[i]
+	r.e.choiceSlots[i], r.e.choiceSlots[j] = r.e.choiceSlots[j], r.e.choiceSlots[i]
+}
+
+// Step executes the single earliest pending event — or, with a chooser
+// installed, whichever runnable event the chooser picks. It reports
+// false when no live events remain.
 func (e *Engine) Step() bool {
+	if e.chooser != nil {
+		return e.chosenStep()
+	}
 	for len(e.heap) > 0 {
 		s := e.popMin()
 		ev := &e.slab[s]
@@ -301,12 +452,50 @@ func (e *Engine) Step() bool {
 	return false
 }
 
+// chosenStep asks the chooser which runnable event to fire (or drop).
+// The chosen event runs at max(now, at): events skipped past their
+// scheduled time simply fire late when eventually chosen, which is how a
+// chooser models message delay. The fired slot is cancelled in place —
+// the heap pops its corpse later — so the heap structure stays valid.
+func (e *Engine) chosenStep() bool {
+	e.collectRunnable()
+	if len(e.choiceBuf) == 0 {
+		return false
+	}
+	d := e.chooser.Choose(e.now, e.choiceBuf)
+	if d.Index < 0 || d.Index >= len(e.choiceBuf) {
+		panic(fmt.Sprintf("des: chooser picked %d of %d runnable events", d.Index, len(e.choiceBuf)))
+	}
+	s := e.choiceSlots[d.Index]
+	ev := &e.slab[s]
+	fn := ev.fn
+	ev.fn = nil // corpse: the heap releases it when popped or compacted
+	e.live--
+	if d.Drop {
+		e.dropped++
+		e.maybeCompact()
+		return true
+	}
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	e.executed++
+	fn()
+	return true
+}
+
 // Run executes events in order until the queue drains or the next event
 // would fire after deadline. The clock is left at the later of its
 // current value and deadline, so a subsequent Run picks up seamlessly.
 func (e *Engine) Run(deadline Time) {
 	if e.running {
 		panic("des: Run re-entered from inside an event")
+	}
+	if e.chooser != nil {
+		// A chooser can fire events out of time order, which makes the
+		// deadline skim below meaningless; explorers drive Step directly
+		// and clear the chooser before draining.
+		panic("des: Run with a Chooser installed (SetChooser(nil) first, or drive Step)")
 	}
 	e.running = true
 	defer func() { e.running = false }()

@@ -23,4 +23,11 @@ const (
 	MetricNetRecvBytes = "net.recv_bytes"
 	MetricNetGarbage   = "net.garbage_datagrams"
 	MetricNetBulkSends = "net.bulk_sends"
+
+	// MetricNetSendUnknownDest counts sends addressed to an endpoint the
+	// substrate has never heard of (a stale pointer to a recycled or
+	// never-assigned address). Such messages vanish without a trace
+	// otherwise — the ack machinery treats them as loss — so the counter
+	// is the only way to tell routing rot from network loss.
+	MetricNetSendUnknownDest = "net.send.unknown_dest"
 )

@@ -1,0 +1,67 @@
+package model
+
+// State digests for schedule-space dedup: two explored prefixes that
+// land the cluster in the same canonical state (per-node protocol state
+// plus the shape of the pending event set) have identical futures under
+// the deterministic executor, so one expansion covers both.
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"peerwindow/internal/sim"
+)
+
+// digestState hashes the cluster's canonical state: the virtual clock,
+// every node's core digest (dead nodes contribute a tombstone), ordered
+// by address, plus the runnable-set signature — the sorted multiset of
+// (owner, kind) tags of pending tagged events. Per-event scheduled times
+// and engine sequence numbers are deliberately excluded: they differ
+// between equivalent interleavings, and collapsing them is what makes
+// dedup effective. The clock itself is included because without it a
+// re-arming periodic timer produces an identical digest every period —
+// a lasso that would dedup a path against its own ancestor and prune
+// subtrees before any leaf is audited. Different interleavings of the
+// same concurrent events end at the same warped clock, so the dedup
+// that matters survives.
+func digestState(cl *sim.Cluster) uint64 {
+	var buf []byte
+	now := uint64(cl.Engine.Now())
+	buf = append(buf,
+		byte(now>>56), byte(now>>48), byte(now>>40), byte(now>>32),
+		byte(now>>24), byte(now>>16), byte(now>>8), byte(now))
+	for _, sn := range cl.Nodes() { // Nodes() is in address order
+		if !sn.Alive() {
+			buf = append(buf, 0xdd)
+			continue
+		}
+		buf = append(buf, 0x01)
+		buf = sn.Node.AppendDigest(buf)
+	}
+	type tag struct {
+		owner uint64
+		kind  uint8
+	}
+	var tags []tag
+	for _, c := range cl.Engine.Runnable() {
+		if c.Tag.Owner == 0 && c.Tag.Kind == 0 {
+			continue
+		}
+		tags = append(tags, tag{owner: c.Tag.Owner, kind: c.Tag.Kind})
+	}
+	sort.Slice(tags, func(i, j int) bool {
+		if tags[i].owner != tags[j].owner {
+			return tags[i].owner < tags[j].owner
+		}
+		return tags[i].kind < tags[j].kind
+	})
+	for _, t := range tags {
+		buf = append(buf, 0xee,
+			byte(t.owner>>56), byte(t.owner>>48), byte(t.owner>>40), byte(t.owner>>32),
+			byte(t.owner>>24), byte(t.owner>>16), byte(t.owner>>8), byte(t.owner),
+			t.kind)
+	}
+	h := fnv.New64a()
+	h.Write(buf)
+	return h.Sum64()
+}

@@ -1,0 +1,198 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+
+	"peerwindow/internal/des"
+	"peerwindow/internal/trace"
+)
+
+// TestExhaustiveCleanJoinWave: the honest protocol survives every
+// bounded schedule of a 3-node join wave — reorderings, delayed timers
+// and one injected loss included.
+func TestExhaustiveCleanJoinWave(t *testing.T) {
+	res := Check(Options{Scenario: "join-wave", N: 3, Seed: 7, MaxDepth: 5, MaxDrops: 1})
+	if res.Err != nil {
+		t.Fatalf("checker error: %v", res.Err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation: %v", res.Violation)
+	}
+	if !res.Stats.Exhausted {
+		t.Fatal("bounded space not exhausted")
+	}
+	if res.Stats.Leaves == 0 || res.Stats.BranchPoints == 0 {
+		t.Fatalf("degenerate exploration: %+v", res.Stats)
+	}
+}
+
+// TestExhaustiveCleanLeaveCrash: concurrent leave+crash converges on
+// every bounded schedule.
+func TestExhaustiveCleanLeaveCrash(t *testing.T) {
+	res := Check(Options{Scenario: "leave-crash", N: 3, Seed: 11, MaxDepth: 5, MaxDrops: 1})
+	if res.Err != nil {
+		t.Fatalf("checker error: %v", res.Err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation: %v", res.Violation)
+	}
+	if !res.Stats.Exhausted {
+		t.Fatal("bounded space not exhausted")
+	}
+}
+
+// TestCleanShiftAndSplit: the shift and split scenarios converge too
+// (shallower bound — these runs are longer).
+func TestCleanShiftAndSplit(t *testing.T) {
+	for _, sc := range []string{"shift", "split"} {
+		res := Check(Options{Scenario: sc, N: 3, Seed: 5, MaxDepth: 4, MaxDrops: 1})
+		if res.Err != nil {
+			t.Fatalf("%s: checker error: %v", sc, res.Err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("%s: unexpected violation: %v", sc, res.Violation)
+		}
+		if !res.Stats.Exhausted {
+			t.Fatalf("%s: bounded space not exhausted", sc)
+		}
+	}
+}
+
+// findMutationViolation is the shared fixture: under "fragile-retry"
+// (single send attempt, no probing, no refresh) a dropped leave-event
+// hop must leave a permanently stale pointer the audit catches.
+func findMutationViolation(t *testing.T) *Violation {
+	t.Helper()
+	res := Check(Options{
+		Scenario: "leave-crash", N: 3, Seed: 11,
+		MaxDepth: 5, MaxDrops: 1, Mutation: "fragile-retry",
+	})
+	if res.Err != nil {
+		t.Fatalf("checker error: %v", res.Err)
+	}
+	if res.Violation == nil {
+		t.Fatalf("mutated build found no violation (stats %+v)", res.Stats)
+	}
+	return res.Violation
+}
+
+// TestMutationCounterexampleReplays: the emitted schedule replays to the
+// same violation, byte for byte.
+func TestMutationCounterexampleReplays(t *testing.T) {
+	v := findMutationViolation(t)
+	if len(v.Schedule.Steps) == 0 {
+		t.Fatal("violation schedule has no recorded decisions")
+	}
+	rep, err := Replay(v.Schedule, nil)
+	if err != nil {
+		t.Fatalf("replay error: %v", err)
+	}
+	if rep.Violation == nil {
+		t.Fatal("replay did not reproduce the violation")
+	}
+	if rep.Violation.Kind != v.Kind || rep.Violation.Node != v.Node || rep.Violation.Detail != v.Detail {
+		t.Fatalf("replay diverged:\n explored: %v\n replayed: %v", v, rep.Violation)
+	}
+}
+
+// TestReplayDeterminism: two replays of the same schedule agree on the
+// violation and on the leaf state digest bit for bit (also exercised
+// under -race in CI).
+func TestReplayDeterminism(t *testing.T) {
+	v := findMutationViolation(t)
+	a, err := Replay(v.Schedule, nil)
+	if err != nil {
+		t.Fatalf("replay error: %v", err)
+	}
+	b, err := Replay(v.Schedule, nil)
+	if err != nil {
+		t.Fatalf("replay error: %v", err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("replay digests differ: %x vs %x", a.Digest, b.Digest)
+	}
+	if (a.Violation == nil) != (b.Violation == nil) {
+		t.Fatal("replay violations differ in presence")
+	}
+	if a.Violation != nil && a.Violation.Detail != b.Violation.Detail {
+		t.Fatalf("replay violations differ: %q vs %q", a.Violation.Detail, b.Violation.Detail)
+	}
+}
+
+// TestReplayRecordsSpans: a replay with a span sink captures the causal
+// trace of the counterexample for cmd/pwtrace.
+func TestReplayRecordsSpans(t *testing.T) {
+	v := findMutationViolation(t)
+	buf := trace.NewSpanBuffer(4096)
+	if _, err := Replay(v.Schedule, buf); err != nil {
+		t.Fatalf("replay error: %v", err)
+	}
+	if buf.Total() == 0 {
+		t.Fatal("replay recorded no spans")
+	}
+}
+
+// TestScheduleRoundTrip: schedules survive serialization.
+func TestScheduleRoundTrip(t *testing.T) {
+	s := makeSchedule(Options{
+		Scenario: "leave-crash", N: 3, Seed: 11,
+		Window: 250 * des.Millisecond, Settle: des.Minute, MaxDrops: 1,
+	}.withDefaults(), []Step{
+		{Seq: 42, At: des.Second, Owner: 2, Kind: 1},
+		{Seq: 99, At: 2 * des.Second, Owner: 3, Kind: 2, Drop: true},
+	})
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, s); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Scenario != s.Scenario || got.N != s.N || got.Seed != s.Seed ||
+		got.Window != s.Window || got.Settle != s.Settle || got.MaxDrops != s.MaxDrops ||
+		len(got.Steps) != len(s.Steps) || got.Steps[1] != s.Steps[1] {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", s, got)
+	}
+}
+
+// TestStopAbandonsSearch: the budget hook ends the exploration without
+// claiming exhaustion.
+func TestStopAbandonsSearch(t *testing.T) {
+	calls := 0
+	res := Check(Options{
+		Scenario: "join-wave", N: 3, Seed: 7, MaxDepth: 6, MaxDrops: 1,
+		Stop: func() bool { calls++; return calls > 3 },
+	})
+	if res.Err != nil {
+		t.Fatalf("checker error: %v", res.Err)
+	}
+	if res.Stats.Exhausted {
+		t.Fatal("stopped search claimed exhaustion")
+	}
+	if res.Stats.Runs == 0 || res.Stats.Runs > 4 {
+		t.Fatalf("stop hook ignored: %d runs", res.Stats.Runs)
+	}
+}
+
+// TestExhaustiveCleanAllScenariosN4: every scenario stays clean at N=4
+// too. This is the bound that originally caught two real protocol bugs —
+// a leaving top node originating its own leave multicast and then
+// cancelling the per-hop retry timers with Stop, and the reconcile pass
+// pulling from a fellow recent joiner whose own join window was still
+// open — so it stays pinned as a regression test.
+func TestExhaustiveCleanAllScenariosN4(t *testing.T) {
+	for _, sc := range Scenarios() {
+		res := Check(Options{Scenario: sc, N: 4, Seed: 7, MaxDepth: 6, MaxDrops: 1})
+		if res.Err != nil {
+			t.Fatalf("%s: checker error: %v", sc, res.Err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("%s: unexpected violation: %v", sc, res.Violation)
+		}
+		if !res.Stats.Exhausted {
+			t.Fatalf("%s: bounded space not exhausted", sc)
+		}
+	}
+}

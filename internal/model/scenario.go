@@ -1,0 +1,153 @@
+package model
+
+// Scenarios: the scripted stimuli the checker explores around. Each
+// scenario is a pure function of Options — node identities, stimulus
+// times and configuration all derive from the seed — so re-executing a
+// prefix always rebuilds the identical cluster. Stimuli are scheduled as
+// untagged engine events: they are script, not protocol, so the policy
+// never reorders them.
+
+import (
+	"fmt"
+
+	"peerwindow/internal/core"
+	"peerwindow/internal/des"
+	"peerwindow/internal/nodeid"
+	"peerwindow/internal/sim"
+	"peerwindow/internal/trace"
+	"peerwindow/internal/wire"
+)
+
+// Scenarios lists the known scenario names.
+func Scenarios() []string {
+	return []string{"join-wave", "leave-crash", "shift", "split"}
+}
+
+// Mutations lists the known deliberately-broken configurations. The
+// empty name is the honest protocol.
+func Mutations() []string {
+	return []string{"no-detection", "fragile-retry"}
+}
+
+// scenarioConfig builds the per-node protocol configuration for a
+// scenario, with the mutation (if any) applied last.
+func scenarioConfig(opts Options) core.Config {
+	cfg := core.DefaultConfig()
+	if opts.Scenario == "shift" {
+		// Pull the autonomy loop into the checker's horizon: the meter
+		// must still cover the initial multicast traffic when the first
+		// eligible shift check runs (Now-lastShift >= MeterWindow).
+		cfg.MeterWindow = 10 * des.Second
+		cfg.ShiftCheckInterval = 2 * des.Second
+	}
+	switch opts.Mutation {
+	case "":
+	case "no-detection":
+		// Failure detection off: no ring probing, no refresh expiry. A
+		// silent crash can then only be noticed by a failed multicast
+		// toward the corpse.
+		cfg.ProbeInterval = 1000 * des.Hour
+		cfg.RefreshEnabled = false
+	case "fragile-retry":
+		// The §4.2 retry budget collapsed to a single attempt on top of
+		// no-detection: one lost message is permanent. A single dropped
+		// leave-event hop leaves the departed node as an undetectable
+		// stale pointer — the bug class the refresh mechanism exists
+		// for.
+		cfg.RetryAttempts = 1
+		cfg.ProbeInterval = 1000 * des.Hour
+		cfg.RefreshEnabled = false
+	}
+	return cfg
+}
+
+// buildScenario constructs the cluster and schedules the stimuli.
+func buildScenario(opts Options, spans trace.SpanSink) (*sim.Cluster, error) {
+	if opts.N < 2 || opts.N > 8 {
+		return nil, fmt.Errorf("model: N = %d (want 2..8; the space is exponential)", opts.N)
+	}
+	switch opts.Mutation {
+	case "", "no-detection", "fragile-retry":
+	default:
+		return nil, fmt.Errorf("model: unknown mutation %q", opts.Mutation)
+	}
+	cl := sim.NewCluster(sim.ClusterConfig{
+		Core:  scenarioConfig(opts),
+		Seed:  opts.Seed,
+		Spans: spans,
+	})
+	switch opts.Scenario {
+	case "join-wave":
+		// One bootstrap member; the rest join concurrently through it.
+		// Explores the §4.3 joining process racing against itself: join
+		// windows, reconcile, and the interleaving of join multicasts.
+		first := cl.AddNode(0)
+		cl.Bootstrap(first)
+		for i := 1; i < opts.N; i++ {
+			sn := cl.AddNode(0)
+			cl.Engine.At(des.Time(i)*10*des.Millisecond, func() {
+				cl.JoinAsync(sn, first)
+			})
+		}
+	case "leave-crash":
+		// A converged overlay loses two members at once: one announces
+		// its leave, the other crashes silently 5 ms later. Explores
+		// leave multicast vs crash detection races.
+		if opts.N < 3 {
+			return nil, fmt.Errorf("model: scenario %q needs N >= 3", opts.Scenario)
+		}
+		nodes := restoreAll(cl, opts.N, 0)
+		leaver, crasher := nodes[opts.N-1], nodes[opts.N-2]
+		cl.Engine.At(10*des.Millisecond, func() { cl.Leave(leaver) })
+		cl.Engine.At(15*des.Millisecond, func() { cl.Kill(crasher) })
+	case "shift":
+		// A level shift racing a multicast: one node's budget collapses
+		// (it must shift down once the meter window covers the leave
+		// traffic), then recovers. The chooser can delay the leave
+		// multicast deliveries into the shift window via time warp.
+		if opts.N < 3 {
+			return nil, fmt.Errorf("model: scenario %q needs N >= 3", opts.Scenario)
+		}
+		nodes := restoreAll(cl, opts.N, 0)
+		shifter, leaver := nodes[0], nodes[opts.N-1]
+		cl.Engine.At(5*des.Millisecond, func() { shifter.Node.SetThreshold(0.001) })
+		cl.Engine.At(10*des.Millisecond, func() { cl.Leave(leaver) })
+		cl.Engine.At(15*des.Second, func() {
+			shifter.Node.SetThreshold(core.DefaultConfig().ThresholdBits)
+		})
+	case "split":
+		// A split system: every node at level 1, so the overlay is two
+		// parts and no node can rise past the split threshold (§4.4).
+		// One part loses a leaver and a crasher concurrently.
+		if opts.N < 3 {
+			return nil, fmt.Errorf("model: scenario %q needs N >= 3", opts.Scenario)
+		}
+		nodes := restoreAll(cl, opts.N, 1)
+		cl.Engine.At(10*des.Millisecond, func() { cl.Leave(nodes[opts.N-1]) })
+		cl.Engine.At(15*des.Millisecond, func() { cl.Kill(nodes[opts.N-2]) })
+	default:
+		return nil, fmt.Errorf("model: unknown scenario %q", opts.Scenario)
+	}
+	return cl, nil
+}
+
+// restoreAll adds n nodes and warm-starts them converged at the given
+// level: peer lists from ground truth, top lists covering every member.
+func restoreAll(cl *sim.Cluster, n, level int) []*sim.SimNode {
+	nodes := make([]*sim.SimNode, n)
+	for i := range nodes {
+		nodes[i] = cl.AddNode(0)
+	}
+	for _, sn := range nodes {
+		self := sn.Node.Self()
+		self.Level = uint8(level)
+		cl.Truth.Join(self)
+	}
+	var tops []wire.Pointer
+	cl.Truth.ForEach(func(p wire.Pointer) { tops = append(tops, p) })
+	for _, sn := range nodes {
+		eig := nodeid.EigenstringOf(sn.Node.Self().ID, level)
+		sn.Node.Restore(level, cl.Truth.InPrefix(eig), tops)
+	}
+	return nodes
+}

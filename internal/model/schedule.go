@@ -1,0 +1,84 @@
+package model
+
+// Schedule files: a violation's counterexample is the scenario
+// parameters plus the branch decisions, serialized as JSON. Forced steps
+// are not recorded — the replay recomputes them — which keeps the files
+// minimal and robust: a schedule survives refactors that do not change
+// the protocol's actual branching behaviour.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"peerwindow/internal/des"
+)
+
+// Schedule is a replayable record of one explored path.
+type Schedule struct {
+	// Scenario, N, Seed and Mutation rebuild the exact cluster.
+	Scenario string `json:"scenario"`
+	N        int    `json:"n"`
+	Seed     uint64 `json:"seed"`
+	Mutation string `json:"mutation,omitempty"`
+	// Window and MaxDrops reproduce the branch-point classification
+	// (they decide which steps were forced); Horizon and Settle
+	// reproduce where the leaf drain starts and how long it runs.
+	Window   des.Time `json:"window"`
+	MaxDrops int      `json:"max_drops"`
+	Horizon  des.Time `json:"horizon"`
+	Settle   des.Time `json:"settle"`
+	// Steps are the branch decisions in order.
+	Steps []Step `json:"steps"`
+}
+
+// makeSchedule snapshots the exploration parameters alongside the
+// decisions.
+func makeSchedule(opts Options, steps []Step) Schedule {
+	return Schedule{
+		Scenario: opts.Scenario,
+		N:        opts.N,
+		Seed:     opts.Seed,
+		Mutation: opts.Mutation,
+		Window:   opts.Window,
+		MaxDrops: opts.MaxDrops,
+		Horizon:  opts.Horizon,
+		Settle:   opts.Settle,
+		Steps:    steps,
+	}
+}
+
+// options reconstructs executor options from a schedule. MaxDepth is
+// irrelevant on replay (the recorded steps bound the path).
+func (s Schedule) options() Options {
+	return Options{
+		Scenario: s.Scenario,
+		N:        s.N,
+		Seed:     s.Seed,
+		Mutation: s.Mutation,
+		Window:   s.Window,
+		MaxDrops: s.MaxDrops,
+		Horizon:  s.Horizon,
+		Settle:   s.Settle,
+	}
+}
+
+// WriteSchedule renders s as indented JSON.
+func WriteSchedule(w io.Writer, s Schedule) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSchedule parses a schedule written by WriteSchedule.
+func ReadSchedule(r io.Reader) (Schedule, error) {
+	var s Schedule
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return Schedule{}, fmt.Errorf("model: bad schedule: %w", err)
+	}
+	if s.Scenario == "" || s.N <= 0 {
+		return Schedule{}, fmt.Errorf("model: schedule missing scenario or n")
+	}
+	return s, nil
+}

@@ -44,6 +44,7 @@ type Churn struct {
 	cfg ChurnConfig
 
 	stopped bool
+	arrival des.Handle
 
 	// Counters for the harness.
 	JoinsStarted uint64
@@ -70,15 +71,22 @@ func (ch *Churn) Start() {
 	ch.scheduleArrival()
 }
 
-// Stop halts the process; already scheduled departures still fire.
-func (ch *Churn) Stop() { ch.stopped = true }
+// Stop halts the process; already scheduled departures still fire. The
+// pending arrival event is cancelled, not just flagged, so the engine's
+// queue can actually drain once the departures are done — quiescence
+// detection (the model checker, RunUntilIdle tests) sees no phantom
+// arrival timer.
+func (ch *Churn) Stop() {
+	ch.stopped = true
+	ch.arrival.Cancel()
+}
 
 func (ch *Churn) scheduleArrival() {
 	if ch.stopped {
 		return
 	}
 	gap := ch.cfg.Workload.ArrivalInterval(ch.c.rng, ch.cfg.TargetPopulation)
-	ch.c.Engine.After(gap, ch.arrive)
+	ch.arrival = ch.c.Engine.After(gap, ch.arrive)
 }
 
 // arrive creates a node with a sampled profile and joins it through a

@@ -22,12 +22,27 @@ import (
 	"peerwindow/internal/core"
 	"peerwindow/internal/des"
 	"peerwindow/internal/invariant"
+	"peerwindow/internal/metrics"
 	"peerwindow/internal/nodeid"
 	"peerwindow/internal/oracle"
 	"peerwindow/internal/topology"
 	"peerwindow/internal/trace"
 	"peerwindow/internal/wire"
 	"peerwindow/internal/xrand"
+)
+
+// Event-tag kinds the cluster stamps on engine events, so a des.Chooser
+// (the model checker) can tell a message delivery from a node timer and
+// attribute either to its node. Harness-internal events (churn arrivals,
+// metric sampling, scripted scenario stimuli) stay untagged and are not
+// reordered.
+const (
+	// TagDeliver marks a message delivery; Owner is the destination
+	// address. Dropping one models network loss.
+	TagDeliver uint8 = 1
+	// TagTimer marks a node timer; Owner is the node's address. Timers
+	// can be delayed by a chooser but never dropped.
+	TagTimer uint8 = 2
 )
 
 // ClusterConfig parameterises a full-fidelity run.
@@ -78,6 +93,12 @@ type Cluster struct {
 	BitsSent     uint64
 	Dropped      uint64
 	SentByType   map[wire.MsgType]uint64
+
+	// netReg carries the harness's own network-layer instruments (the
+	// nodes' registries only see what reaches them); unknownDest counts
+	// sends whose destination address is not in the cluster.
+	netReg      *metrics.Registry
+	unknownDest *metrics.Counter
 	// OriginatedByKind counts multicasts started by top nodes, per event
 	// kind.
 	OriginatedByKind map[wire.EventKind]uint64
@@ -91,6 +112,12 @@ type Cluster struct {
 	// DeliveryHook, when set, observes every first-hand event delivery —
 	// the measurement tap for the multicast-delay experiment.
 	DeliveryHook func(sn *SimNode, ev wire.Event, step int)
+
+	// inflight maps the engine sequence number of each pending delivery
+	// event to its message, so a chooser-injected drop (see NoteDropped)
+	// can be recorded as a trace span. Only maintained when a span sink
+	// is attached; nil otherwise.
+	inflight map[uint64]wire.Message
 }
 
 // SimNode wraps one core.Node inside the cluster and implements
@@ -122,6 +149,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		panic(err)
 	}
 	root := xrand.New(cfg.Seed)
+	netReg := metrics.NewRegistry()
 	return &Cluster{
 		cfg:              cfg,
 		Engine:           des.New(),
@@ -132,11 +160,21 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		SentByType:       make(map[wire.MsgType]uint64),
 		OriginatedByKind: make(map[wire.EventKind]uint64),
 		FalseDetections:  make(map[string]uint64),
+		netReg:           netReg,
+		unknownDest:      netReg.Counter(metrics.MetricNetSendUnknownDest),
 	}
 }
 
+// NetMetrics snapshots the harness's network-layer instruments (e.g.
+// unknown-destination sends).
+func (c *Cluster) NetMetrics() metrics.Snapshot { return c.netReg.Snapshot() }
+
 // Nodes returns all nodes ever added (including dead ones).
 func (c *Cluster) Nodes() []*SimNode { return c.nodes }
+
+// Alive reports whether the node is still running (not killed, not
+// departed).
+func (sn *SimNode) Alive() bool { return sn.alive }
 
 // Alive returns the currently alive nodes.
 func (c *Cluster) Alive() []*SimNode {
@@ -308,6 +346,15 @@ func (c *Cluster) Run(d des.Time) {
 	c.SyncTruth()
 }
 
+// QuiescentWithin reports whether no live event is scheduled within the
+// next horizon of virtual time — the model checker's notion of a settled
+// state (periodic timers re-armed far in the future don't count as
+// pending protocol work).
+func (c *Cluster) QuiescentWithin(horizon des.Time) bool {
+	at, ok := c.Engine.NextAt()
+	return !ok || at > c.Engine.Now()+horizon
+}
+
 // Audit compares a node's peer list against ground truth.
 func (c *Cluster) Audit(sn *SimNode) oracle.Errors {
 	self := sn.Node.Self()
@@ -354,10 +401,19 @@ func (sn *SimNode) Send(msg wire.Message) {
 	}
 	dst, ok := c.byAddr[msg.To]
 	if !ok {
+		// A send into the void — a stale pointer naming an address the
+		// cluster never assigned, or a harness bug. The message vanishes
+		// (the protocol's acks handle it like loss), but the count makes
+		// it visible instead of silently absorbed.
+		c.unknownDest.Inc()
 		return
 	}
 	lat := c.latency(sn, dst)
-	c.Engine.After(lat, func() {
+	var seq uint64
+	h := c.Engine.AfterTag(lat, des.EventTag{Owner: uint64(msg.To), Kind: TagDeliver}, func() {
+		if c.inflight != nil {
+			delete(c.inflight, seq)
+		}
 		if dst.alive {
 			dst.Node.HandleMessage(msg)
 			if invariant.Enabled {
@@ -365,6 +421,35 @@ func (sn *SimNode) Send(msg wire.Message) {
 			}
 		}
 	})
+	if c.cfg.Spans != nil {
+		seq = h.Seq()
+		if c.inflight == nil {
+			c.inflight = make(map[uint64]wire.Message)
+		}
+		c.inflight[seq] = msg
+	}
+}
+
+// NoteDropped records a chooser-injected drop of the pending delivery
+// with the given engine sequence number: the model checker discards the
+// event inside the engine, where the message content is out of reach, so
+// it reports the seq back here for span accounting. Traced messages get
+// the same SpanDrop a random network loss would; untraced ones (or an
+// unknown seq) are a no-op.
+func (c *Cluster) NoteDropped(seq uint64) {
+	msg, ok := c.inflight[seq]
+	if !ok {
+		return
+	}
+	delete(c.inflight, seq)
+	if c.cfg.Spans != nil && !msg.Trace.IsZero() {
+		c.cfg.Spans.RecordSpan(trace.Span{
+			At: c.Engine.Now(), Node: uint64(msg.From), Trace: msg.Trace,
+			Kind: trace.SpanDrop, Child: uint64(msg.To), Step: int(msg.Step),
+			EventKind: msg.Event.Kind, Subject: msg.Event.Subject.ID,
+			EventSeq: msg.Event.Seq,
+		})
+	}
 }
 
 // simTimer adapts a des.Handle to core.Timer with an aliveness guard.
@@ -374,7 +459,7 @@ func (t simTimer) Cancel() bool { return t.h.Cancel() }
 
 // SetTimer implements core.Env.
 func (sn *SimNode) SetTimer(delay des.Time, fn func()) core.Timer {
-	h := sn.c.Engine.After(delay, func() {
+	h := sn.c.Engine.AfterTag(delay, des.EventTag{Owner: uint64(sn.Addr), Kind: TagTimer}, func() {
 		if sn.alive {
 			fn()
 			if invariant.Enabled && sn.alive {

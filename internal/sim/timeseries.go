@@ -76,6 +76,7 @@ func (ts *Timeseries) capture() {
 		nodes++
 		merged.Merge(sn.Node.MetricsSnapshot())
 	}
+	merged.Merge(c.NetMetrics())
 	ts.Samples = append(ts.Samples, MetricsSample{
 		At:           c.Engine.Now(),
 		Nodes:        nodes,
