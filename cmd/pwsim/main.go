@@ -6,6 +6,8 @@
 //	pwsim -experiment fig12 -rates 0.1,0.5,1,2,10
 //	pwsim -experiment intro                # §1/§2 probing-vs-multicast economics
 //	pwsim -experiment mcast -n 64          # §4.2 multicast properties (full fidelity)
+//	pwsim -experiment sharded -shards 8 -digest   # common run on the sharded SoA engine
+//	pwsim -experiment million -shards 8    # seeded 1M-node churn run
 //	pwsim -experiment all                  # everything
 package main
 
@@ -15,6 +17,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"peerwindow/internal/baseline"
 	"peerwindow/internal/core"
@@ -28,7 +31,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig5..fig12, common, fullcommon, intro, mcast, delay, split, or all")
+		experiment = flag.String("experiment", "all", "fig5..fig12, common, fullcommon, sharded, million, intro, mcast, delay, split, or all")
 		n          = flag.Int("n", 100000, "system scale for the common experiment")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		warmMin    = flag.Int("warm", 30, "settle time before measuring (virtual minutes)")
@@ -37,6 +40,9 @@ func main() {
 		scalesFlag = flag.String("scales", "5000,10000,20000,50000,100000", "scales for fig9/fig10")
 		ratesFlag  = flag.String("rates", "0.1,0.2,0.5,1,2,5,10", "lifetime rates for fig11/fig12")
 		spansFile  = flag.String("spans", "", "write causal-span JSONL here (mcast experiment; feed to pwtrace)")
+		shards     = flag.Int("shards", 1, "engine shards for sharded/million (power of two in [1,256])")
+		workers    = flag.Int("workers", 0, "worker goroutines driving shards (0 = GOMAXPROCS)")
+		digest     = flag.Bool("digest", false, "print the end-state digest (determinism checks across -shards)")
 	)
 	flag.Parse()
 
@@ -74,6 +80,18 @@ func main() {
 		} else {
 			fmt.Println(sim.Fig12Table(rr).Render())
 		}
+	case "sharded":
+		r, dg := sim.RunCommonSharded(*n, *rate, *seed, *shards, *workers, opt)
+		printCommon(r)
+		if *digest {
+			fmt.Printf("digest %016x\n", dg)
+		}
+	case "million":
+		mn := *n
+		if mn < 1000000 {
+			mn = 1000000
+		}
+		fmt.Println(millionTable(mn, *rate, *seed, *shards, *workers, opt, *digest).Render())
 	case "intro":
 		fmt.Println(introTable().Render())
 	case "mcast":
@@ -116,6 +134,53 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// millionTable runs the common experiment at million-node scale on the
+// sharded struct-of-arrays simulator and reports throughput and memory
+// alongside the level census — the scale the legacy pointer-per-node
+// layout cannot reach in RAM.
+func millionTable(n int, rate float64, seed uint64, shards, workers int, opt sim.CommonOptions, digest bool) *metrics.Table {
+	cfg := sim.DefaultShardedScaledConfig(n, seed, shards)
+	cfg.Workers = workers
+	cfg.Workload.LifetimeRate = rate
+	build0 := time.Now()
+	s := sim.NewShardedScaled(cfg)
+	buildWall := time.Since(build0)
+	if opt.Warm == 0 {
+		opt.Warm = 30 * des.Minute
+	}
+	if opt.Measure == 0 {
+		opt.Measure = 30 * des.Minute
+	}
+	run0 := time.Now()
+	s.Run(opt.Warm)
+	s.ResetTraffic()
+	s.Run(opt.Measure)
+	runWall := time.Since(run0)
+	events := s.EventsExecuted()
+	bytes, nodes := s.MemoryFootprint()
+
+	t := metrics.NewTable(
+		fmt.Sprintf("Million-node churn run (sharded SoA, N=%d, shards=%d)", n, shards),
+		"metric", "value")
+	t.AddRow("population", s.Population())
+	t.AddRow("virtual time", (opt.Warm + opt.Measure).String())
+	t.AddRow("build wall time", buildWall.Round(time.Millisecond).String())
+	t.AddRow("run wall time", runWall.Round(time.Millisecond).String())
+	t.AddRow("events executed", events)
+	t.AddRow("events/sec (wall)", fmt.Sprintf("%.0f", float64(events)/runWall.Seconds()))
+	t.AddRow("node-state bytes/node", fmt.Sprintf("%.1f", float64(bytes)/float64(nodes)))
+	levels := s.LevelCounts()
+	for l, c := range levels {
+		if c > 0 {
+			t.AddRow(fmt.Sprintf("level %d nodes", l), c)
+		}
+	}
+	if digest {
+		t.AddRow("digest", fmt.Sprintf("%016x", s.Digest()))
+	}
+	return t
 }
 
 // workloadForFull compresses lifetimes so a short full-fidelity run sees

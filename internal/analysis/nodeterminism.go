@@ -2,12 +2,17 @@ package analysis
 
 // nodeterminism guards the property the whole experiment harness rests
 // on: a simulation run is a pure function of its seed. internal/core,
-// internal/des and internal/sim must draw time only from the DES virtual
-// clock (Env.Now / Engine.Now), randomness only from internal/xrand, and
-// run on a single logical thread. One stray time.Now() or untracked
-// goroutine silently breaks run-for-run reproducibility — and with it
-// the PR 3 trace oracle, which freezes audiences at origin time and
-// expects replays to be bit-identical.
+// internal/des, internal/sim and internal/shard must draw time only from
+// the DES virtual clock (Env.Now / Engine.Now) and randomness only from
+// internal/xrand. The first three must additionally run on a single
+// logical thread: one stray time.Now() or untracked goroutine silently
+// breaks run-for-run reproducibility — and with it the PR 3 trace
+// oracle, which freezes audiences at origin time and expects replays to
+// be bit-identical. internal/shard is the single sanctioned goroutine
+// package: it concentrates the worker/barrier discipline that keeps
+// sharded runs bit-reproducible, so `go` statements are allowed there
+// — no per-site //pwlint:allow needed — and nowhere else in the
+// simulation stack.
 
 import (
 	"go/ast"
@@ -23,7 +28,13 @@ var deterministicPkgSuffixes = []string{
 	"internal/core",
 	"internal/des",
 	"internal/sim",
+	"internal/shard",
 }
+
+// goroutinePkgSuffix is the one deterministic-scope package where `go`
+// statements are sanctioned: the shard driver, which owns all simulation
+// concurrency. Wall-clock and math/rand bans still apply there.
+const goroutinePkgSuffix = "internal/shard"
 
 // forbiddenTimeFuncs are the package-level wall-clock entry points of
 // package time. time.Duration and the time.Time type are fine (des.Time
@@ -46,9 +57,10 @@ var forbiddenTimeFuncs = map[string]bool{
 var NoDeterminism = &Analyzer{
 	Name: "nodeterminism",
 	Doc: "forbid time.Now/time.Since and friends, math/rand, and goroutines in " +
-		"internal/core, internal/des and internal/sim; the simulation must stay a " +
-		"pure function of its seed (use des virtual time, internal/xrand, and the " +
-		"DES engine; escape hatch: //pwlint:allow nodeterminism)",
+		"internal/core, internal/des, internal/sim and internal/shard; the simulation " +
+		"must stay a pure function of its seed (use des virtual time, internal/xrand, " +
+		"and the DES engine). internal/shard alone may start goroutines — it is the " +
+		"sanctioned shard-driver package (escape hatch: //pwlint:allow nodeterminism)",
 	Run: runNoDeterminism,
 }
 
@@ -62,10 +74,16 @@ func inDeterministicScope(pkg *Package) bool {
 	return false
 }
 
+func inGoroutineSanctionedScope(pkg *Package) bool {
+	base := strings.TrimSuffix(pkg.BasePath, "_test")
+	return base == goroutinePkgSuffix || strings.HasSuffix(base, "/"+goroutinePkgSuffix)
+}
+
 func runNoDeterminism(pass *Pass) error {
 	if !inDeterministicScope(pass.Pkg) {
 		return nil
 	}
+	goAllowed := inGoroutineSanctionedScope(pass.Pkg)
 	info := pass.Pkg.Info
 	for _, f := range pass.Pkg.Files {
 		for _, imp := range f.Imports {
@@ -78,8 +96,10 @@ func runNoDeterminism(pass *Pass) error {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
-				pass.Reportf(n.Pos(),
-					"goroutine started in deterministic package: concurrency breaks the single-threaded DES replay (schedule through the engine instead)")
+				if !goAllowed {
+					pass.Reportf(n.Pos(),
+						"goroutine started in deterministic package: concurrency breaks the single-threaded DES replay (schedule through the engine, or drive shards via internal/shard)")
+				}
 			case *ast.SelectorExpr:
 				obj := info.Uses[n.Sel]
 				if obj == nil || obj.Pkg() == nil {

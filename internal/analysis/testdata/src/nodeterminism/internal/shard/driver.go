@@ -1,0 +1,18 @@
+// Package shard stands in for the sanctioned shard-driver package: its
+// import path ends in internal/shard, so goroutines pass without a
+// //pwlint:allow — but the wall-clock and math/rand bans still apply.
+package shard
+
+import "time"
+
+func drive(windows int) {
+	for w := 0; w < windows; w++ {
+		go window(w) // sanctioned: the shard driver owns simulation concurrency
+	}
+}
+
+func window(int) {}
+
+func stamp() time.Time {
+	return time.Now() // want `time\.Now in deterministic package`
+}

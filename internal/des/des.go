@@ -3,12 +3,22 @@
 // platform the paper ran on (§5, ref [17]).
 //
 // One simulation run is a single deterministic event loop: events execute
-// in (time, sequence-number) order, so two runs with the same seed replay
-// identically, which is what makes the figure benchmarks reproducible.
-// Parallelism is applied where it is free of ordering hazards — across
-// independent runs (parameter points, seeds, replicas) via RunParallel —
-// mirroring how ONSP distributed independent work across its 16-server
-// cluster without changing any single run's semantics.
+// in (time, key, sequence-number) order, so two runs with the same seed
+// replay identically, which is what makes the figure benchmarks
+// reproducible. The key is an optional caller-supplied tie-break (see
+// AtKey) that stays meaningful when one logical run is partitioned across
+// several engines: engine-local sequence numbers depend on how work was
+// sharded, while keys derived from protocol state (issuer, per-issuer
+// counter) do not, so a sharded run replays the single-engine schedule
+// bit-for-bit. Untagged callers leave the key at zero and see the classic
+// (time, seq) order unchanged.
+//
+// Engines are single-threaded; parallelism lives in internal/shard, which
+// drives one engine per shard through conservative time windows
+// (RunWindow) and exchanges cross-shard work through Mailboxes at window
+// barriers. That package is also where cross-run parallelism (independent
+// parameter points, seeds, replicas — the ONSP 16-server pattern) lives,
+// as shard.RunParallel.
 //
 // The scheduler is built for throughput: events live in a value-type
 // slab indexed by a 4-ary min-heap of slot numbers, with a free list
@@ -25,9 +35,7 @@ package des
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 	"time"
 )
 
@@ -68,6 +76,7 @@ func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 // successor event that recycled the slot.
 type event struct {
 	at  Time
+	key uint64
 	seq uint64
 	fn  func()
 	gen uint32
@@ -172,7 +181,8 @@ func (h Handle) Pending() bool {
 }
 
 // Engine is a sequential deterministic event loop. It is not safe for
-// concurrent use; run one Engine per goroutine (see RunParallel).
+// concurrent use; run one Engine per goroutine (internal/shard drives
+// a set of engines in conservative time windows).
 type Engine struct {
 	now Time
 	seq uint64
@@ -207,12 +217,17 @@ func (e *Engine) Pending() int { return e.live }
 // Executed returns how many events have fired so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// less orders two slots by (time, seq); seq breaks ties in scheduling
-// order, which makes the loop deterministic.
+// less orders two slots by (time, key, seq). The key (zero unless the
+// event was scheduled with AtKey) breaks ties in a shard-invariant way;
+// seq breaks the remaining ties in scheduling order, which makes the
+// loop deterministic.
 func (e *Engine) less(a, b int32) bool {
 	ea, eb := &e.slab[a], &e.slab[b]
 	if ea.at != eb.at {
 		return ea.at < eb.at
+	}
+	if ea.key != eb.key {
+		return ea.key < eb.key
 	}
 	return ea.seq < eb.seq
 }
@@ -327,6 +342,18 @@ func (e *Engine) At(t Time, fn func()) Handle {
 // AtTag schedules fn at absolute time t, annotated with tag for
 // choosers. Untagged callers should use At.
 func (e *Engine) AtTag(t Time, tag EventTag, fn func()) Handle {
+	return e.AtKey(t, 0, tag, fn)
+}
+
+// AtKey schedules fn at absolute time t with an explicit tie-break key.
+// Same-instant events fire in ascending key order regardless of the
+// order they were scheduled in — and regardless of which engine of a
+// sharded run they were scheduled on, as long as the caller derives keys
+// from shard-invariant state (the sharded simulators use the issuing
+// entity's identity plus a per-entity counter). Key zero sorts first and
+// is what At/AtTag use, so unkeyed callers keep the classic insertion
+// order.
+func (e *Engine) AtKey(t Time, key uint64, tag EventTag, fn func()) Handle {
 	if fn == nil {
 		panic("des: At with nil callback")
 	}
@@ -336,6 +363,7 @@ func (e *Engine) AtTag(t Time, tag EventTag, fn func()) Handle {
 	s := e.alloc()
 	ev := &e.slab[s]
 	ev.at = t
+	ev.key = key
 	ev.seq = e.seq
 	ev.fn = fn
 	ev.tag = tag
@@ -411,16 +439,14 @@ func (e *Engine) collectRunnable() {
 	sort.Sort(&runnableSort{e})
 }
 
-// runnableSort orders choiceBuf and choiceSlots together by (at, seq).
+// runnableSort orders choiceBuf and choiceSlots together in canonical
+// engine order — (at, key, seq), via the slab — so the offered choice
+// slice always matches what Step would fire first.
 type runnableSort struct{ e *Engine }
 
 func (r *runnableSort) Len() int { return len(r.e.choiceBuf) }
 func (r *runnableSort) Less(i, j int) bool {
-	a, b := &r.e.choiceBuf[i], &r.e.choiceBuf[j]
-	if a.At != b.At {
-		return a.At < b.At
-	}
-	return a.Seq < b.Seq
+	return r.e.less(r.e.choiceSlots[i], r.e.choiceSlots[j])
 }
 func (r *runnableSort) Swap(i, j int) {
 	r.e.choiceBuf[i], r.e.choiceBuf[j] = r.e.choiceBuf[j], r.e.choiceBuf[i]
@@ -516,6 +542,38 @@ func (e *Engine) Run(deadline Time) {
 	}
 }
 
+// RunWindow executes events strictly before limit and advances the clock
+// to limit. It is Run with an exclusive bound: a conservative shard
+// driver computes a horizon no cross-shard effect can penetrate
+// (min next event + lookahead) and lets every shard run its own events
+// up to, but not including, that horizon — an event exactly at the
+// horizon might have to be ordered against another shard's event at the
+// same instant, so it belongs to the next window.
+func (e *Engine) RunWindow(limit Time) {
+	if e.running {
+		panic("des: RunWindow re-entered from inside an event")
+	}
+	if e.chooser != nil {
+		panic("des: RunWindow with a Chooser installed (SetChooser(nil) first, or drive Step)")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.heap) > 0 {
+		top := &e.slab[e.heap[0]]
+		if top.fn == nil {
+			e.release(e.popMin())
+			continue
+		}
+		if top.at >= limit {
+			break
+		}
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+}
+
 // RunUntilIdle executes events until none remain. It panics if the event
 // count exceeds limit, which guards tests against schedule loops.
 func (e *Engine) RunUntilIdle(limit uint64) {
@@ -525,37 +583,4 @@ func (e *Engine) RunUntilIdle(limit uint64) {
 			panic(fmt.Sprintf("des: exceeded %d events before idle", limit))
 		}
 	}
-}
-
-// RunParallel executes n independent tasks on up to workers goroutines
-// (defaulting to GOMAXPROCS when workers <= 0). Each task builds and runs
-// its own Engine; this is the ONSP-style cluster parallelism translated
-// to Go — determinism inside a run, parallelism across runs.
-func RunParallel(n, workers int, task func(i int)) {
-	if n <= 0 {
-		return
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		//pwlint:allow nodeterminism — cross-run parallelism; each task runs its own engine
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				task(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }

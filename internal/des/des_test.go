@@ -2,7 +2,6 @@ package des
 
 import (
 	"sort"
-	"sync/atomic"
 	"testing"
 )
 
@@ -234,30 +233,6 @@ func TestTimeConversions(t *testing.T) {
 	}
 	if (90 * Minute).String() != "1h30m0s" {
 		t.Fatalf("String = %q", (90 * Minute).String())
-	}
-}
-
-func TestRunParallelCoversAllTasks(t *testing.T) {
-	const n = 100
-	var done [n]int32
-	RunParallel(n, 4, func(i int) { atomic.AddInt32(&done[i], 1) })
-	for i, d := range done {
-		if d != 1 {
-			t.Fatalf("task %d ran %d times", i, d)
-		}
-	}
-}
-
-func TestRunParallelDefaults(t *testing.T) {
-	var count int64
-	RunParallel(10, 0, func(int) { atomic.AddInt64(&count, 1) })
-	if count != 10 {
-		t.Fatalf("count = %d", count)
-	}
-	RunParallel(0, 4, func(int) { t.Error("task ran for n=0") })
-	RunParallel(3, 100, func(int) { atomic.AddInt64(&count, 1) })
-	if count != 13 {
-		t.Fatalf("count = %d", count)
 	}
 }
 

@@ -12,7 +12,7 @@ import (
 // Enabled reports whether deep invariant checking is compiled in.
 const Enabled = true
 
-// checks counts Check calls; atomic because des.RunParallel may drive
+// checks counts Check calls; atomic because shard.RunParallel may drive
 // several independent engines at once.
 var checks atomic.Uint64
 

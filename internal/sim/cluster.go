@@ -118,6 +118,18 @@ type Cluster struct {
 	// can be recorded as a trace span. Only maintained when a span sink
 	// is attached; nil otherwise.
 	inflight map[uint64]wire.Message
+
+	// keyed makes deliveries and timers carry shard-invariant (sender,
+	// issue-order) tie-break keys instead of relying on engine insertion
+	// order — required when this cluster is one shard of a ShardedCluster,
+	// where insertion order differs between shard counts but key order
+	// does not.
+	keyed bool
+	// route, when set, is offered messages whose destination is not local
+	// before they are counted as unknown; a ShardedCluster installs it to
+	// forward cross-shard sends through the window-barrier mailboxes. It
+	// reports whether it accepted the message.
+	route func(sn *SimNode, msg wire.Message, key uint64) bool
 }
 
 // SimNode wraps one core.Node inside the cluster and implements
@@ -138,6 +150,20 @@ type SimNode struct {
 	// SentEvents counts MsgEvent messages this node sent — its multicast
 	// out-degree accumulated over all events.
 	SentEvents uint64
+
+	// issueSeq feeds nextKey in keyed mode.
+	issueSeq uint32
+}
+
+// nextKey returns the node's next shard-invariant event tie-break key:
+// (address, issue counter). Addresses are globally unique and the
+// counter advances in the node's own execution order, which is itself
+// key-ordered — so the total (time, key) order of events is a pure
+// function of the simulation, not of how nodes are grouped into shards.
+func (sn *SimNode) nextKey() uint64 {
+	k := uint64(sn.Addr)<<32 | uint64(sn.issueSeq)
+	sn.issueSeq++
+	return k
 }
 
 // NewCluster builds an empty cluster.
@@ -218,18 +244,26 @@ func (c *Cluster) AddNode(threshold float64) *SimNode {
 	if c.cfg.Net != nil {
 		attach = c.cfg.Net.RandomAttachment(c.rng)
 	}
+	return c.addNodeAt(addr, attach, c.rng.Split(uint64(addr)), c.RandomID(), threshold)
+}
+
+// addNodeAt is AddNode with every per-node draw supplied by the caller —
+// the entry point a ShardedCluster uses so that addresses, attachments,
+// identifiers and RNG streams come from one global, shard-count-invariant
+// sequence instead of this shard's.
+func (c *Cluster) addNodeAt(addr wire.Addr, attach topology.Attachment, rng *xrand.Source, id nodeid.ID, threshold float64) *SimNode {
 	sn := &SimNode{
 		c:      c,
 		Addr:   addr,
 		Attach: attach,
-		rng:    c.rng.Split(uint64(addr)),
+		rng:    rng,
 		alive:  true,
 	}
 	coreCfg := c.cfg.Core
 	if threshold > 0 {
 		coreCfg.ThresholdBits = threshold
 	}
-	self := wire.Pointer{Addr: addr, ID: c.RandomID()}
+	self := wire.Pointer{Addr: addr, ID: id}
 	obs := core.Observer{
 		EventDelivered: func(ev wire.Event, step int) {
 			sn.Delivered++
@@ -387,6 +421,10 @@ func (sn *SimNode) Send(msg wire.Message) {
 	if msg.Type == wire.MsgEvent {
 		sn.SentEvents++
 	}
+	var key uint64
+	if c.keyed {
+		key = sn.nextKey()
+	}
 	if c.cfg.LossRate > 0 && c.netRng.Float64() < c.cfg.LossRate {
 		c.Dropped++
 		if c.cfg.Spans != nil && msg.Type == wire.MsgEvent && !msg.Trace.IsZero() {
@@ -401,6 +439,9 @@ func (sn *SimNode) Send(msg wire.Message) {
 	}
 	dst, ok := c.byAddr[msg.To]
 	if !ok {
+		if c.route != nil && c.route(sn, msg, key) {
+			return
+		}
 		// A send into the void — a stale pointer naming an address the
 		// cluster never assigned, or a harness bug. The message vanishes
 		// (the protocol's acks handle it like loss), but the count makes
@@ -410,7 +451,7 @@ func (sn *SimNode) Send(msg wire.Message) {
 	}
 	lat := c.latency(sn, dst)
 	var seq uint64
-	h := c.Engine.AfterTag(lat, des.EventTag{Owner: uint64(msg.To), Kind: TagDeliver}, func() {
+	h := c.Engine.AtKey(c.Engine.Now()+lat, key, des.EventTag{Owner: uint64(msg.To), Kind: TagDeliver}, func() {
 		if c.inflight != nil {
 			delete(c.inflight, seq)
 		}
@@ -459,7 +500,11 @@ func (t simTimer) Cancel() bool { return t.h.Cancel() }
 
 // SetTimer implements core.Env.
 func (sn *SimNode) SetTimer(delay des.Time, fn func()) core.Timer {
-	h := sn.c.Engine.AfterTag(delay, des.EventTag{Owner: uint64(sn.Addr), Kind: TagTimer}, func() {
+	var key uint64
+	if sn.c.keyed {
+		key = sn.nextKey()
+	}
+	h := sn.c.Engine.AtKey(sn.c.Engine.Now()+delay, key, des.EventTag{Owner: uint64(sn.Addr), Kind: TagTimer}, func() {
 		if sn.alive {
 			fn()
 			if invariant.Enabled && sn.alive {

@@ -7,6 +7,7 @@ import (
 	"peerwindow/internal/core"
 	"peerwindow/internal/des"
 	"peerwindow/internal/metrics"
+	"peerwindow/internal/shard"
 	"peerwindow/internal/topology"
 	"peerwindow/internal/wire"
 	"peerwindow/internal/xrand"
@@ -101,6 +102,43 @@ func RunCommon(n int, lifetimeRate float64, seed uint64, opt CommonOptions) Comm
 	return res
 }
 
+// RunCommonSharded executes the common experiment on the sharded
+// struct-of-arrays simulator — the same measurements as RunCommon, with
+// the event work spread across shard workers and the node state packed
+// for million-node populations. Results are a pure function of
+// (n, lifetimeRate, seed): shard and worker counts only change wall
+// time.
+func RunCommonSharded(n int, lifetimeRate float64, seed uint64, shards, workers int, opt CommonOptions) (CommonResult, uint64) {
+	opt.defaults()
+	cfg := DefaultShardedScaledConfig(n, seed, shards)
+	cfg.Workers = workers
+	cfg.Workload.LifetimeRate = lifetimeRate
+	s := NewShardedScaled(cfg)
+	s.Run(opt.Warm)
+	s.ResetTraffic()
+
+	errAggs := make([]metrics.Agg, cfg.MaxLevel+1)
+	gap := opt.Measure / des.Time(opt.Instants)
+	for i := 0; i < opt.Instants; i++ {
+		s.Run(gap)
+		inst := s.ErrorRates(opt.Sample)
+		for l := range inst {
+			errAggs[l].Merge(inst[l])
+		}
+	}
+	in, out := s.Bandwidth()
+	return CommonResult{
+		N:            n,
+		LifetimeRate: lifetimeRate,
+		Population:   s.Population(),
+		LevelCounts:  s.LevelCounts(),
+		ListSizes:    s.PeerListSizes(0),
+		ErrorRates:   errAggs,
+		InBps:        in,
+		OutBps:       out,
+	}, s.Digest()
+}
+
 // Fig5Table renders the figure 5 reproduction: node distribution per
 // level in the common 100,000-node PeerWindow.
 func Fig5Table(r CommonResult) *metrics.Table {
@@ -184,7 +222,7 @@ func DefaultScales() []int { return []int{5000, 10000, 20000, 50000, 100000} }
 // parallel.
 func RunScales(scales []int, seed uint64, opt CommonOptions) []ScaleResult {
 	out := make([]ScaleResult, len(scales))
-	des.RunParallel(len(scales), 0, func(i int) {
+	shard.RunParallel(len(scales), 0, func(i int) {
 		out[i] = ScaleResult{
 			N:      scales[i],
 			Common: RunCommon(scales[i], 1.0, seed+uint64(i)*1000, opt),
@@ -246,7 +284,7 @@ func DefaultLifetimeRates() []float64 { return []float64{0.1, 0.2, 0.5, 1, 2, 5,
 // RunLifetimeRates executes the §5.3 adaptivity sweep at fixed scale.
 func RunLifetimeRates(n int, rates []float64, seed uint64, opt CommonOptions) []RateResult {
 	out := make([]RateResult, len(rates))
-	des.RunParallel(len(rates), 0, func(i int) {
+	shard.RunParallel(len(rates), 0, func(i int) {
 		o := opt
 		// Short lifetimes need proportionally less settling; long ones
 		// need no more than the default.

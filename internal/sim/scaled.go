@@ -2,7 +2,8 @@ package sim
 
 import (
 	"fmt"
-	"math"
+	"math/bits"
+	"sort"
 
 	"peerwindow/internal/des"
 	"peerwindow/internal/metrics"
@@ -154,15 +155,23 @@ func NewScaled(cfg ScaledConfig) *Scaled {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	// Pre-size the rate buffers for the stationary structural rate
+	// (joins + leaves = 2N / mean lifetime over one rate window), with
+	// 2x headroom for flash-crowd bursts, so steady operation never
+	// regrows them.
+	expect := int(4*float64(cfg.N)*rateWindow.Seconds()/
+		cfg.Workload.EffectiveMeanLifetime().Seconds()) + 64
 	s := &Scaled{
-		cfg:     cfg,
-		Engine:  des.New(),
-		rng:     xrand.New(cfg.Seed),
-		pop:     newPrefixCount(cfg.MaxLevel),
-		lvl:     newLevelPrefixCount(cfg.MaxLevel),
-		nodes:   make(map[nodeid.ID]*scaledNode, cfg.N),
-		inBits:  make([]float64, cfg.MaxLevel+1),
-		outBits: make([]float64, cfg.MaxLevel+1),
+		cfg:        cfg,
+		Engine:     des.New(),
+		rng:        xrand.New(cfg.Seed),
+		pop:        newPrefixCount(cfg.MaxLevel),
+		lvl:        newLevelPrefixCount(cfg.MaxLevel),
+		nodes:      make(map[nodeid.ID]*scaledNode, cfg.N),
+		eventTimes: make([]des.Time, 0, expect),
+		churnTimes: make([]des.Time, 0, expect),
+		inBits:     make([]float64, cfg.MaxLevel+1),
+		outBits:    make([]float64, cfg.MaxLevel+1),
 	}
 	s.populate()
 	s.Engine.After(s.cfg.Workload.ArrivalInterval(s.rng, s.cfg.N), s.arrive)
@@ -231,23 +240,38 @@ func (s *Scaled) depart(n *scaledNode) {
 	s.recordEvent(n.ptr.ID, wire.EventLeave)
 }
 
-// rateOf estimates a rate (events per second) over the trailing window
-// from a timestamp buffer, pruning it in place.
+// rateOf estimates a rate (events per second) over the trailing
+// rateWindow from a timestamp buffer, pruning it in place.
 func (s *Scaled) rateOf(buf *[]des.Time) float64 {
-	const window = 5 * des.Minute
 	now := s.Engine.Now()
-	b := *buf
-	cut := 0
-	for cut < len(b) && b[cut] < now-window {
-		cut++
-	}
-	b = b[cut:]
-	*buf = b
-	elapsed := window
-	if now < window {
+	live := pruneTimes(buf, now-rateWindow)
+	elapsed := rateWindow
+	if now < rateWindow {
 		elapsed = now + des.Second
 	}
-	return float64(len(b)) / elapsed.Seconds()
+	return float64(live) / elapsed.Seconds()
+}
+
+// pruneTimes counts the timestamps at or after cutoff in a sorted
+// append-only buffer, compacting the buffer when the dead prefix comes
+// to dominate it. Compaction copies the live tail down on the same base
+// array: the buffer reaches its steady-state capacity once and never
+// regrows. (The previous version resliced from the front — b = b[cut:]
+// — which bleeds capacity as the base array marches forward, so every
+// flash-crowd burst forced a fresh round of reallocations.) Deferring
+// the copy until the dead prefix is half the buffer makes the cost
+// amortized O(1) per append; the sorted order makes the cut a binary
+// search.
+func pruneTimes(buf *[]des.Time, cutoff des.Time) int {
+	b := *buf
+	cut := sort.Search(len(b), func(i int) bool { return b[i] >= cutoff })
+	if cut > 0 && cut*2 >= len(b) {
+		n := copy(b, b[cut:])
+		b = b[:n]
+		*buf = b
+		cut = 0
+	}
+	return len(b) - cut
 }
 
 // eventRate is the structural (join+leave) rate the autonomy decisions
@@ -336,6 +360,9 @@ func (s *Scaled) sweep() {
 func (s *Scaled) recordEvent(subject nodeid.ID, kind wire.EventKind) {
 	now := s.Engine.Now()
 	s.eventTimes = append(s.eventTimes, now)
+	// eventTimes has no reader on the hot path (rateOf prunes churnTimes
+	// itself), so prune it here or it grows without bound.
+	pruneTimes(&s.eventTimes, now-rateWindow)
 	if kind == wire.EventJoin || kind == wire.EventLeave {
 		s.churnTimes = append(s.churnTimes, now)
 	}
@@ -390,12 +417,14 @@ func (s *Scaled) recordEvent(subject nodeid.ID, kind wire.EventKind) {
 }
 
 // stepsFor returns the number of multicast steps needed to inform n
-// members: each step doubles the informed set.
+// members: each step doubles the informed set. ceil(log2(n+1)) is
+// exactly the bit length of n, so no float math is needed — this runs
+// once per (event, level) on the hot path.
 func stepsFor(n int) int {
 	if n <= 0 {
 		return 0
 	}
-	return int(math.Ceil(math.Log2(float64(n + 1))))
+	return bits.Len(uint(n))
 }
 
 // pruneInflight drops fully delivered events; compaction is amortised.

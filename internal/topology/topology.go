@@ -251,6 +251,22 @@ func (n *Network) jitterFactor(a, b Attachment) float64 {
 	return 1 + n.params.LatencyJitter*(2*u-1)
 }
 
+// LatencyFloor returns a hard lower bound on the latency between any two
+// distinct overlay endpoints: the same-stub-router case (2·NodeStub),
+// shrunk by the worst-case jitter factor (1-J) and truncated the same
+// way Latency truncates, so Latency(a, b) >= LatencyFloor() for every
+// pair. This is the conservative-synchronization lookahead of the
+// sharded simulator: no message sent at time t can take effect anywhere
+// before t + floor, so shards may run ahead of each other by up to the
+// floor without ever missing a cross-shard delivery.
+func (n *Network) LatencyFloor() des.Time {
+	floor := 2 * n.params.NodeStub
+	if n.params.LatencyJitter > 0 {
+		floor = des.Time(float64(floor) * (1 - n.params.LatencyJitter))
+	}
+	return floor
+}
+
 // MeanLatency estimates the average pairwise latency by sampling; it is
 // used by calibration tests and to report the multicast step cost.
 func (n *Network) MeanLatency(rng *xrand.Source, samples int) des.Time {
