@@ -91,7 +91,7 @@ func main() {
 		live := ov.Peers()
 		minW, maxW, sumRate := 1<<30, 0, 0.0
 		for _, p := range live {
-			w := len(p.Window())
+			w := p.View().Len()
 			if w < minW {
 				minW = w
 			}
@@ -107,7 +107,7 @@ func main() {
 	fmt.Println("\nfinal state:")
 	for _, p := range ov.Peers() {
 		fmt.Printf("  %-10s level=%d window=%3d in=%.0f bit/s\n",
-			p.Name(), p.Level(), len(p.Window()), p.InputRate())
+			p.Name(), p.Level(), p.View().Len(), p.InputRate())
 	}
 	m := ov.Metrics()
 	var msgs, bits, dropped uint64

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"peerwindow/internal/query"
 	"peerwindow/internal/udptransport"
 	"peerwindow/internal/wire"
 )
@@ -15,6 +16,9 @@ import (
 //
 //	/metrics       Prometheus text exposition of every instrument
 //	/debug/window  the current window as JSON
+//	/debug/query   the query-plane snapshot state: epoch, entry and
+//	               bucket counts, level histogram, strongest peers,
+//	               delta and subscription counters
 //	/debug/trace   the retained event ring, newest last, as plain text
 //	/debug/spans   the retained causal spans as JSONL (pipe to pwtrace)
 //
@@ -46,6 +50,17 @@ type windowJSON struct {
 	Addr   string        `json:"addr"`
 	Level  int           `json:"level"`
 	Window []pointerJSON `json:"window"`
+}
+
+// queryJSON is the /debug/query document.
+type queryJSON struct {
+	Name      string            `json:"name"`
+	Epoch     uint64            `json:"epoch"`
+	Entries   int               `json:"entries"`
+	MinLevel  int               `json:"min_level"`
+	Levels    map[string]int    `json:"levels"`
+	Strongest []pointerJSON     `json:"strongest"`
+	Counters  map[string]uint64 `json:"counters"`
 }
 
 // endpoint renders a wire address as dotted-quad host:port.
@@ -86,6 +101,43 @@ func startDebugServer(addr, name string, n *udptransport.Node) (net.Listener, er
 				Level: int(p.Level),
 				Info:  string(p.Info),
 			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
+	mux.HandleFunc("/debug/query", func(w http.ResponseWriter, r *http.Request) {
+		store := n.Query()
+		v := store.View()
+		doc := queryJSON{
+			Name:      name,
+			Epoch:     v.Epoch(),
+			Entries:   v.Len(),
+			MinLevel:  v.MinLevel(),
+			Levels:    map[string]int{},
+			Strongest: []pointerJSON{},
+		}
+		for l := 0; l <= 64; l++ {
+			if c := v.CountAtLevel(l); c > 0 {
+				doc.Levels[fmt.Sprintf("%d", l)] = c
+			}
+		}
+		for _, e := range v.Strongest(8) {
+			doc.Strongest = append(doc.Strongest, pointerJSON{
+				ID:    e.ID.String(),
+				Addr:  endpoint(e.Addr),
+				Level: int(e.Level),
+				Info:  e.Info(),
+			})
+		}
+		snap := store.MetricsSnapshot()
+		doc.Counters = map[string]uint64{
+			query.MetricQueryDeltasAdd:     snap.Counters[query.MetricQueryDeltasAdd],
+			query.MetricQueryDeltasUpdate:  snap.Counters[query.MetricQueryDeltasUpdate],
+			query.MetricQueryDeltasRemove:  snap.Counters[query.MetricQueryDeltasRemove],
+			query.MetricQuerySubsDelivered: snap.Counters[query.MetricQuerySubsDelivered],
+			query.MetricQuerySubsDropped:   snap.Counters[query.MetricQuerySubsDropped],
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

@@ -118,6 +118,44 @@ func TestDebugServerSmoke(t *testing.T) {
 		t.Fatalf("/debug/window has %d pointers, want 1", len(doc.Window))
 	}
 
+	var qdoc struct {
+		Name      string         `json:"name"`
+		Epoch     uint64         `json:"epoch"`
+		Entries   int            `json:"entries"`
+		MinLevel  int            `json:"min_level"`
+		Levels    map[string]int `json:"levels"`
+		Strongest []struct {
+			ID    string `json:"id"`
+			Level int    `json:"level"`
+		} `json:"strongest"`
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, base+"/debug/query")), &qdoc); err != nil {
+		t.Fatalf("/debug/query is not JSON: %v", err)
+	}
+	if qdoc.Name != "seed" {
+		t.Fatalf("/debug/query name = %q, want seed", qdoc.Name)
+	}
+	if qdoc.Entries != 1 || qdoc.Epoch == 0 {
+		t.Fatalf("/debug/query entries=%d epoch=%d, want 1 entry at epoch >= 1", qdoc.Entries, qdoc.Epoch)
+	}
+	if len(qdoc.Strongest) != 1 || qdoc.Strongest[0].ID == "" {
+		t.Fatalf("/debug/query strongest wrong: %+v", qdoc.Strongest)
+	}
+	var levelSum int
+	for _, c := range qdoc.Levels {
+		levelSum += c
+	}
+	if levelSum != qdoc.Entries {
+		t.Fatalf("/debug/query level histogram sums to %d, want %d", levelSum, qdoc.Entries)
+	}
+	if _, ok := qdoc.Counters["query.deltas.add"]; !ok {
+		t.Fatalf("/debug/query counters missing query.deltas.add: %+v", qdoc.Counters)
+	}
+	if qdoc.Counters["query.deltas.add"] == 0 {
+		t.Fatalf("/debug/query shows zero adds after a join: %+v", qdoc.Counters)
+	}
+
 	trace := httpGet(t, base+"/debug/trace")
 	if !strings.Contains(trace, "events recorded") {
 		t.Fatalf("/debug/trace header missing:\n%s", trace)

@@ -35,7 +35,7 @@ func main() {
 		info      = flag.String("info", "", "application info to attach to the pointer")
 		interval  = flag.Duration("interval", 10*time.Second, "status print interval")
 		fast      = flag.Bool("fast", false, "compress protocol timers ~50x for local demos")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/window, /debug/trace and /debug/spans over HTTP on this address (empty: disabled)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/window, /debug/query, /debug/trace and /debug/spans over HTTP on this address (empty: disabled)")
 	)
 	flag.Parse()
 
@@ -69,7 +69,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("debug server on http://%s (/metrics, /debug/window, /debug/trace, /debug/spans)\n", ln.Addr())
+		fmt.Printf("debug server on http://%s (/metrics, /debug/window, /debug/query, /debug/trace, /debug/spans)\n", ln.Addr())
 	}
 
 	if *join == "" {

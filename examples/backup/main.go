@@ -50,22 +50,68 @@ func main() {
 		{"gaspra", "openbsd", "7.4"},
 		{"hydra", "linux", "5.15"},
 	}
-	for _, pr := range fleet {
+	// Spawn the first peer and subscribe to its window before the rest of
+	// the fleet joins: instead of polling Window() in a loop, the
+	// subscription delivers every pointer the join multicasts add as an
+	// event, and a local map materialized from baseline+events tracks the
+	// window exactly.
+	var sub *peerwindow.Subscription
+	partners := make(map[string]peerwindow.Pointer)
+	for i, pr := range fleet {
 		info := peerwindow.WithInfo([]byte(fmt.Sprintf("os=%s;rel=%s", pr.os, pr.rel)))
 		if _, err := ov.Spawn(pr.name, info); err != nil {
 			log.Fatalf("spawn %s: %v", pr.name, err)
+		}
+		if i == 0 {
+			atlas, _ := ov.Peer(pr.name)
+			sub = atlas.Subscribe(peerwindow.SubscribeBuffer(1024))
+			defer sub.Close()
+			sub.Baseline().Each(func(r peerwindow.Ref) bool {
+				partners[r.ID()] = r.Pointer()
+				return true
+			})
 		}
 		ov.Settle(20 * time.Second)
 	}
 	// Let the info-change multicasts drain.
 	ov.Settle(2 * time.Minute)
 
+	// Fold the buffered events into the materialized window. Events with
+	// Epoch ≤ the baseline's are already in it; removals delete.
+	base := sub.Baseline().Epoch()
+drain:
+	for {
+		select {
+		case ev := <-sub.Events():
+			if ev.Epoch <= base {
+				continue
+			}
+			switch ev.Kind {
+			case peerwindow.ChangeRemoved:
+				delete(partners, ev.Pointer().ID)
+			default:
+				p := ev.Pointer()
+				partners[p.ID] = p
+			}
+		default:
+			break drain
+		}
+	}
+	if sub.Dropped() > 0 {
+		log.Fatalf("subscription dropped %d events (buffer too small)", sub.Dropped())
+	}
+
 	atlas, _ := ov.Peer("atlas")
-	window := atlas.Window()
-	fmt.Printf("atlas collected %d pointers\n\n", len(window))
+	view := atlas.View()
+	if view.Len() != len(partners) {
+		log.Fatalf("materialized window has %d entries, view has %d",
+			len(partners), view.Len())
+	}
+	fmt.Printf("atlas collected %d pointers\n\n", len(partners))
 
 	// Similar-OS partners (Pastiche: overlapping data, cheap backups).
-	same := window.InfoContains("os=linux")
+	// The field index answers this without scanning the window.
+	same := view.WithField("os=linux")
 	fmt.Println("similar-OS candidates (cheap incremental backups):")
 	for _, p := range same {
 		fmt.Printf("  %s…  %s\n", p.ID[:8], p.Info)
@@ -73,7 +119,7 @@ func main() {
 
 	// Different-OS partners (Lillibridge et al.: survive a monoculture
 	// attack).
-	diverse := window.ByInfo(func(b []byte) bool {
+	diverse := view.ByInfo(func(b []byte) bool {
 		s := string(b)
 		return len(s) > 0 && !strings.Contains(s, "os=linux")
 	})

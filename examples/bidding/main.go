@@ -18,7 +18,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -95,18 +94,27 @@ func main() {
 	}
 	ov.Settle(2 * time.Minute)
 
-	// The buyer wants 400 GB placed as cheaply as possible: scan the
-	// window, sort offers by ask, fill greedily.
-	window := buyer.Window()
+	// The buyer wants 400 GB placed as cheaply as possible. TopK over the
+	// buyer's View orders the advertised offers by ask in one bounded
+	// scan (negated ask turns cheapest-first into the maximization TopK
+	// performs); pointers without an offer are excluded by the score
+	// function.
+	view := buyer.View()
+	book := view.TopK(view.Len(), func(r peerwindow.Ref) (float64, bool) {
+		o, ok := parseOffer(r.ID(), []byte(r.Info()))
+		if !ok {
+			return 0, false
+		}
+		return -float64(o.ask), true
+	})
 	var offers []offer
-	for _, p := range window {
+	for _, p := range book {
 		if o, ok := parseOffer(p.ID, p.Info); ok {
 			offers = append(offers, o)
 		}
 	}
-	sort.Slice(offers, func(i, j int) bool { return offers[i].ask < offers[j].ask })
 
-	fmt.Printf("buyer window: %d pointers, %d sellers\n\n", len(window), len(offers))
+	fmt.Printf("buyer window: %d pointers, %d sellers\n\n", view.Len(), len(offers))
 	fmt.Println("order book (from attached info, no queries sent):")
 	for _, o := range offers {
 		fmt.Printf("  %s…  %4d GB @ %2d/GB\n", o.id[:8], o.gb, o.ask)

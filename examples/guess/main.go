@@ -17,7 +17,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -84,20 +83,20 @@ func main() {
 	ov.Settle(2 * time.Minute)
 
 	searcher, _ := ov.Peer("peer-01")
-	window := searcher.Window()
-	fmt.Printf("searcher window: %d pointers\n", len(window))
+	view := searcher.View()
+	fmt.Printf("searcher window: %d pointers\n", view.Len())
 
 	// Order candidates by announced shared-file count, richest first —
-	// the GUESS probe order.
-	ordered := append(peerwindow.Window(nil), window...)
-	sort.SliceStable(ordered, func(i, j int) bool {
-		return filesOf(ordered[i].Info) > filesOf(ordered[j].Info)
+	// the GUESS probe order. TopK scans the snapshot once and matches a
+	// stable descending sort (ties keep window order).
+	ordered := view.TopK(view.Len(), func(r peerwindow.Ref) (float64, bool) {
+		return float64(filesOf([]byte(r.Info()))), true
 	})
 
 	probeBudget := 5
 	queries := 40
 	hitsFull, hitsSmall := 0, 0
-	small := window.Sample(4, 3) // a routing-table-sized pointer set
+	small := view.Sample(4, 3) // a routing-table-sized pointer set
 	for q := 0; q < queries; q++ {
 		want := rng.Intn(catalogue)
 		// Full PeerWindow, best-first, limited probes.

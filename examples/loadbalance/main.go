@@ -91,23 +91,26 @@ func main() {
 				continue
 			}
 			myLoad := loads[name]
-			window := p.Window()
 			// Collect the few lightest peers the window advertises and
 			// pick one at random — shedding to the single global minimum
-			// makes every overloaded peer dogpile the same target.
+			// makes every overloaded peer dogpile the same target. TopK
+			// over the peer's View keeps only the 3 best candidates while
+			// scanning the snapshot once, instead of copying and sorting
+			// the whole window; negating the load turns "lightest" into
+			// the maximization TopK performs.
+			lightest := p.View().TopK(3, func(r peerwindow.Ref) (float64, bool) {
+				l, ok := parseLoad([]byte(r.Info()))
+				return -float64(l), ok
+			})
 			type cand struct {
 				id   string
 				load int
 			}
 			var cands []cand
-			for _, q := range window {
+			for _, q := range lightest {
 				if l, ok := parseLoad(q.Info); ok {
 					cands = append(cands, cand{q.ID, l})
 				}
-			}
-			sort.Slice(cands, func(i, j int) bool { return cands[i].load < cands[j].load })
-			if len(cands) > 3 {
-				cands = cands[:3]
 			}
 			if len(cands) == 0 {
 				continue

@@ -43,18 +43,22 @@ func main() {
 	carol.SetInfo([]byte("os=openbsd;zone=us"))
 	ov.Settle(2 * time.Minute)
 
+	// View is an immutable, indexed snapshot of alice's window: obtaining
+	// it is one atomic load, and the selection helpers below answer from
+	// incremental indexes instead of rescanning all pointers.
 	alice, _ := ov.Peer("alice")
-	window := alice.Window()
-	fmt.Printf("alice (level %d) sees %d peers:\n", alice.Level(), len(window))
-	for _, p := range window {
-		fmt.Printf("  %s…  level=%d  info=%q\n", p.ID[:8], p.Level, p.Info)
-	}
+	view := alice.View()
+	fmt.Printf("alice (level %d) sees %d peers:\n", alice.Level(), view.Len())
+	view.Each(func(r peerwindow.Ref) bool {
+		fmt.Printf("  %s…  level=%d  info=%q\n", r.ID()[:8], r.Level(), r.Info())
+		return true
+	})
 
 	// Select partners locally — no queries hit the network.
-	if linux := window.InfoContains("os=linux"); len(linux) > 0 {
+	if linux := view.InfoContains("os=linux"); len(linux) > 0 {
 		fmt.Printf("first linux peer alice found: %s…\n", linux[0].ID[:8])
 	}
-	strongest := window.Strongest(2)
+	strongest := view.Strongest(2)
 	fmt.Printf("two strongest peers: level %d and %d\n",
 		strongest[0].Level, strongest[1].Level)
 

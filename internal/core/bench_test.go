@@ -53,7 +53,7 @@ func (pl *PeerList) clone() *PeerList {
 // applySortedBatch routes a sorted pointer batch into the list through
 // the bulk-merge hot path under benchmark.
 func applySortedBatch(pl *PeerList, ps []wire.Pointer, now des.Time) {
-	pl.MergeSorted(ps, now, nil)
+	pl.MergeSorted(ps, now, nil, nil)
 }
 
 // BenchmarkPeerListMerge applies a 1024-pointer sorted batch — half

@@ -90,3 +90,25 @@ func (r RemoveReason) String() string {
 		return "unknown"
 	}
 }
+
+// DeltaSink receives every peer-list mutation, synchronously from the
+// node's executor and in application order: exactly one call per pointer
+// added to, changed in, or removed from the list. Unlike Observer — whose
+// PeerAdded is suppressed during bulk loads such as Restore — the sink
+// sees unconditionally every mutation, so a sink that starts from an empty
+// list and folds the stream always holds a bit-identical copy of the peer
+// list. The query plane's snapshot store (internal/query.Store) is the
+// canonical implementation. Implementations must not block and must not
+// call back into the Node.
+type DeltaSink interface {
+	// PeerAdded is called after a pointer not previously in the list is
+	// inserted.
+	PeerAdded(p wire.Pointer)
+	// PeerUpdated is called after an existing entry's pointer changes
+	// (same ID, different level, address or attached info). It is not
+	// called when an upsert leaves the stored pointer bit-identical.
+	PeerUpdated(prev, p wire.Pointer)
+	// PeerRemoved is called after a pointer is removed, with the entry
+	// as it was stored and the reason for the eviction.
+	PeerRemoved(p wire.Pointer, reason RemoveReason)
+}

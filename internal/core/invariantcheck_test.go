@@ -22,7 +22,7 @@ func TestPeerListInvariantsHoldThroughMutation(t *testing.T) {
 		t.Fatalf("after remove: %v", err)
 	}
 	batch := []wire.Pointer{ptrAt("0010", 1, 7), ptrAt("0110", 0, 8), ptrAt("1111", 2, 9)}
-	pl.MergeSorted(batch, 5, nil)
+	pl.MergeSorted(batch, 5, nil, nil)
 	if err := pl.CheckInvariants(); err != nil {
 		t.Fatalf("after merge: %v", err)
 	}

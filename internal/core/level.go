@@ -269,6 +269,7 @@ func (n *Node) reconcileFrom(donor wire.Pointer, onFail func()) {
 				if e, had := n.peers.Remove(id); had {
 					n.m.reconcileDrops.Inc()
 					n.m.removed(RemoveStale)
+					n.deltaRemove(e.ptr, RemoveStale)
 					if n.obs.PeerRemoved != nil {
 						n.obs.PeerRemoved(e.ptr, RemoveStale)
 					}
@@ -342,6 +343,7 @@ func (n *Node) lowerLevel() {
 	}
 	for _, e := range dropped {
 		n.m.removed(RemoveShift)
+		n.deltaRemove(e.ptr, RemoveShift)
 		if n.obs.PeerRemoved != nil {
 			n.obs.PeerRemoved(e.ptr, RemoveShift)
 		}

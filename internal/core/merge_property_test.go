@@ -92,7 +92,7 @@ func TestMergeSortedEquivalentToUpsert(t *testing.T) {
 		var notified []wire.Pointer
 		addedMerge := merged.MergeSorted(batch, now, func(p wire.Pointer) {
 			notified = append(notified, p)
-		})
+		}, nil)
 
 		if addedMerge != addedUpsert {
 			t.Fatalf("round %d: MergeSorted added %d, Upsert added %d",
@@ -113,7 +113,7 @@ func TestMergeSortedEmptyAndDisjointBatches(t *testing.T) {
 	for _, p := range base {
 		pl.Upsert(p, 1)
 	}
-	if got := pl.MergeSorted(nil, 2, nil); got != 0 {
+	if got := pl.MergeSorted(nil, 2, nil, nil); got != 0 {
 		t.Fatalf("empty batch added %d", got)
 	}
 	if pl.Len() != 50 {
@@ -121,7 +121,7 @@ func TestMergeSortedEmptyAndDisjointBatches(t *testing.T) {
 	}
 	// A fully-overlapping batch must add nothing and refresh lastSeen
 	// while preserving firstSeen.
-	if got := pl.MergeSorted(base, 9, nil); got != 0 {
+	if got := pl.MergeSorted(base, 9, nil, nil); got != 0 {
 		t.Fatalf("overlapping batch added %d", got)
 	}
 	pl.ForEach(func(p wire.Pointer, firstSeen, lastSeen des.Time) {
@@ -137,7 +137,7 @@ func TestMergeSortedEmptyAndDisjointBatches(t *testing.T) {
 			disjoint = append(disjoint, p)
 		}
 	}
-	if got := pl.MergeSorted(disjoint, 12, nil); got != len(disjoint) {
+	if got := pl.MergeSorted(disjoint, 12, nil, nil); got != len(disjoint) {
 		t.Fatalf("disjoint batch added %d want %d", got, len(disjoint))
 	}
 	if pl.Len() != 50+len(disjoint) {
@@ -199,7 +199,7 @@ func TestStrongestAgreesWithNaiveScan(t *testing.T) {
 				batch[i] = randomPointer(rng, universe)
 			}
 			sort.SliceStable(batch, func(i, j int) bool { return batch[i].ID.Less(batch[j].ID) })
-			pl.MergeSorted(batch, des.Time(step), nil)
+			pl.MergeSorted(batch, des.Time(step), nil, nil)
 			check("merge", step)
 		case 9: // shed a prefix, as level lowering does
 			if pl.Len() > 0 {

@@ -155,6 +155,7 @@ func (n *Node) sendGossipCopy(ev wire.Event, target wire.Pointer, tid wire.Trace
 	n.sendReliable(msg, n.cfg.RetryAttempts, nil, func() {
 		if e, had := n.peers.Remove(target.ID); had {
 			n.m.removed(RemoveStale)
+			n.deltaRemove(e.ptr, RemoveStale)
 			if n.obs.PeerRemoved != nil {
 				n.obs.PeerRemoved(e.ptr, RemoveStale)
 			}
@@ -194,6 +195,7 @@ func (n *Node) sendStep(ev wire.Event, s int, tid wire.TraceID, failed map[nodei
 		n.span(tid, trace.SpanRedirect, 0, target.Addr, s+1, ev)
 		if e, had := n.peers.Remove(target.ID); had {
 			n.m.removed(RemoveStale)
+			n.deltaRemove(e.ptr, RemoveStale)
 			if n.obs.PeerRemoved != nil {
 				n.obs.PeerRemoved(e.ptr, RemoveStale)
 			}
@@ -230,11 +232,19 @@ func (n *Node) verifyFailure(target wire.Pointer) {
 			n.m.failFalseAlarms.Inc()
 			n.tracef("false-alarm", "target=%s", target.ID)
 			if !n.stopped && !n.dead[target.ID] && n.eigen.Contains(target.ID) {
+				var prev wire.Pointer
+				var had bool
+				if n.deltas != nil {
+					prev, had = n.peers.Lookup(target.ID)
+				}
 				if n.peers.Upsert(target, n.env.Now()) {
 					n.m.peersAdded.Inc()
+					n.deltaAdd(target)
 					if n.obs.PeerAdded != nil {
 						n.obs.PeerAdded(target)
 					}
+				} else if had {
+					n.deltaUpdate(prev, target)
 				}
 			}
 		},

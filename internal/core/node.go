@@ -75,6 +75,11 @@ type Node struct {
 	spans    trace.SpanSink
 	traceSeq uint64
 
+	// deltas, when set, receives every peer-list mutation (see
+	// DeltaSink). Checked on each mutation path; nil keeps those paths
+	// free of any extra work.
+	deltas DeltaSink
+
 	shiftTimer   Timer
 	refreshTimer Timer
 
@@ -146,6 +151,42 @@ func (n *Node) Joined() bool { return n.joined }
 
 // Peers exposes the peer list for reading. Callers must not mutate it.
 func (n *Node) Peers() *PeerList { return &n.peers }
+
+// SetDeltas attaches a peer-list mutation sink. If the list already holds
+// entries (attach after Bootstrap/Restore), they are replayed to the sink
+// as PeerAdded calls first, so a sink folding the stream from empty is
+// always exactly the current list. Call from the node's executor only.
+func (n *Node) SetDeltas(sink DeltaSink) {
+	n.deltas = sink
+	if sink == nil {
+		return
+	}
+	n.peers.ForEach(func(p wire.Pointer, _, _ des.Time) {
+		sink.PeerAdded(p)
+	})
+}
+
+// deltaAdd forwards a list insertion to the delta sink, if any.
+func (n *Node) deltaAdd(p wire.Pointer) {
+	if n.deltas != nil {
+		n.deltas.PeerAdded(p)
+	}
+}
+
+// deltaUpdate forwards an in-place pointer change to the delta sink,
+// suppressing no-op upserts that left the stored pointer bit-identical.
+func (n *Node) deltaUpdate(prev, p wire.Pointer) {
+	if n.deltas != nil && !prev.Equal(p) {
+		n.deltas.PeerUpdated(prev, p)
+	}
+}
+
+// deltaRemove forwards a list eviction to the delta sink, if any.
+func (n *Node) deltaRemove(p wire.Pointer, reason RemoveReason) {
+	if n.deltas != nil {
+		n.deltas.PeerRemoved(p, reason)
+	}
+}
 
 // TopList returns a copy of the node's top-node list.
 func (n *Node) TopList() []wire.Pointer {
@@ -511,11 +552,24 @@ func (n *Node) applyPointers(ps []wire.Pointer, notify bool) int {
 	// occurrence winning, as repeated Upsert would; MergeSorted detects
 	// the duplicate and falls back to exactly that.
 	sort.SliceStable(batch, func(i, j int) bool { return batch[i].ID.Less(batch[j].ID) })
-	var onNew func(wire.Pointer)
-	if notify && n.obs.PeerAdded != nil {
-		onNew = n.obs.PeerAdded
+	obsAdd := n.obs.PeerAdded
+	if !notify {
+		obsAdd = nil
 	}
-	added := n.peers.MergeSorted(batch, n.env.Now(), onNew)
+	var onNew func(wire.Pointer)
+	if obsAdd != nil || n.deltas != nil {
+		onNew = func(p wire.Pointer) {
+			n.deltaAdd(p)
+			if obsAdd != nil {
+				obsAdd(p)
+			}
+		}
+	}
+	var onUpdate func(old, new wire.Pointer)
+	if n.deltas != nil {
+		onUpdate = n.deltas.PeerUpdated
+	}
+	added := n.peers.MergeSorted(batch, n.env.Now(), onNew, onUpdate)
 	n.m.peersAdded.Add(uint64(added))
 	return added
 }
@@ -580,6 +634,7 @@ func (n *Node) applyEvent(ev wire.Event) bool {
 			removed = true
 			n.lifetimes.Add(int(e.ptr.Level), float64(now-e.firstSeen))
 			n.m.removed(RemoveLeave)
+			n.deltaRemove(e.ptr, RemoveLeave)
 			if n.obs.PeerRemoved != nil {
 				n.obs.PeerRemoved(e.ptr, RemoveLeave)
 			}
@@ -603,12 +658,20 @@ func (n *Node) applyEvent(ev wire.Event) bool {
 		if !n.eigen.Contains(subj.ID) {
 			return true
 		}
+		var prev wire.Pointer
+		var had bool
+		if n.deltas != nil {
+			prev, had = n.peers.Lookup(subj.ID)
+		}
 		isNew := n.peers.Upsert(subj, now)
 		if isNew {
 			n.m.peersAdded.Inc()
+			n.deltaAdd(subj)
 			if n.obs.PeerAdded != nil {
 				n.obs.PeerAdded(subj)
 			}
+		} else if had {
+			n.deltaUpdate(prev, subj)
 		}
 		return true
 	}

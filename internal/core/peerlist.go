@@ -148,13 +148,17 @@ func (pl *PeerList) Upsert(p wire.Pointer, now des.Time) bool {
 // Existing entries are updated in place, preserving firstSeen and
 // refreshing lastSeen, exactly as Upsert would; the levels histogram and
 // level index stay consistent. onNew, if not nil, is called once per
-// newly inserted pointer, in ascending ID order, after the whole merge
-// completes (the list is safe to read from the callback). It returns
-// the number of new entries. A batch that is not strictly sorted falls
-// back to per-entry Upsert, so callers feeding network-supplied batches
-// keep Upsert semantics in the worst case rather than corrupting the
-// list.
-func (pl *PeerList) MergeSorted(ps []wire.Pointer, now des.Time, onNew func(wire.Pointer)) int {
+// newly inserted pointer; onUpdate, if not nil, is called once per
+// existing entry whose stored pointer actually changed (same ID,
+// different level, address or info — bit-identical upserts are
+// suppressed). In the sorted path both callbacks fire after the whole
+// merge completes, updates then insertions, each in ascending ID order
+// (the list is safe to read from the callbacks). It returns the number
+// of new entries. A batch that is not strictly sorted falls back to
+// per-entry Upsert — callbacks then fire per entry, in batch order — so
+// callers feeding network-supplied batches keep Upsert semantics in the
+// worst case rather than corrupting the list.
+func (pl *PeerList) MergeSorted(ps []wire.Pointer, now des.Time, onNew func(wire.Pointer), onUpdate func(old, new wire.Pointer)) int {
 	if len(ps) == 0 {
 		return 0
 	}
@@ -162,11 +166,18 @@ func (pl *PeerList) MergeSorted(ps []wire.Pointer, now des.Time, onNew func(wire
 		if !ps[k-1].ID.Less(ps[k].ID) {
 			added := 0
 			for _, p := range ps {
+				var old wire.Pointer
+				var had bool
+				if onUpdate != nil {
+					old, had = pl.Lookup(p.ID)
+				}
 				if pl.Upsert(p, now) {
 					added++
 					if onNew != nil {
 						onNew(p)
 					}
+				} else if onUpdate != nil && had && !old.Equal(p) {
+					onUpdate(old, p)
 				}
 			}
 			return added
@@ -188,6 +199,13 @@ func (pl *PeerList) MergeSorted(ps []wire.Pointer, now des.Time, onNew func(wire
 	if onNew != nil && newCount > 0 {
 		added = make([]wire.Pointer, 0, newCount)
 	}
+	type change struct{ old, new wire.Pointer }
+	var updated []change
+	noteUpdate := func(old, new wire.Pointer) {
+		if onUpdate != nil && !old.Equal(new) {
+			updated = append(updated, change{old, new})
+		}
+	}
 	if newCount == 0 {
 		// Updates only: second two-pointer pass, no entry moves.
 		i = 0
@@ -195,10 +213,14 @@ func (pl *PeerList) MergeSorted(ps []wire.Pointer, now des.Time, onNew func(wire
 			for pl.entries[i].ptr.ID.Less(ps[j].ID) {
 				i++
 			}
-			old := pl.entries[i].ptr.Level
+			old := pl.entries[i].ptr
 			pl.entries[i].ptr = ps[j]
 			pl.entries[i].lastSeen = now
-			pl.indexRelevel(i, old, ps[j].Level)
+			pl.indexRelevel(i, old.Level, ps[j].Level)
+			noteUpdate(old, ps[j])
+		}
+		for k := range updated {
+			onUpdate(updated[k].old, updated[k].new)
 		}
 		return 0
 	}
@@ -214,6 +236,7 @@ func (pl *PeerList) MergeSorted(ps []wire.Pointer, now des.Time, onNew func(wire
 			i--
 		case i >= 0 && pl.entries[i].ptr.ID == ps[j].ID:
 			e := pl.entries[i]
+			noteUpdate(e.ptr, ps[j])
 			e.ptr = ps[j]
 			e.lastSeen = now
 			pl.entries[w] = e
@@ -229,6 +252,9 @@ func (pl *PeerList) MergeSorted(ps []wire.Pointer, now des.Time, onNew func(wire
 		w--
 	}
 	pl.rebuildLevelIndex()
+	for k := len(updated) - 1; k >= 0; k-- {
+		onUpdate(updated[k].old, updated[k].new)
+	}
 	for k := len(added) - 1; k >= 0; k-- {
 		onNew(added[k])
 	}

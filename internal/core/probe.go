@@ -101,6 +101,7 @@ func (n *Node) onProbeTimeout(target wire.Pointer) {
 	if e, ok := n.peers.Remove(target.ID); ok {
 		n.lifetimes.Add(int(e.ptr.Level), float64(n.env.Now()-e.firstSeen))
 		n.m.removed(RemoveStale)
+		n.deltaRemove(e.ptr, RemoveStale)
 		if n.obs.PeerRemoved != nil {
 			n.obs.PeerRemoved(e.ptr, RemoveStale)
 		}

@@ -55,6 +55,7 @@ func (n *Node) onRefreshTick() {
 		if e, ok := n.peers.Remove(id); ok {
 			n.m.refreshExpired.Inc()
 			n.m.removed(RemoveExpired)
+			n.deltaRemove(e.ptr, RemoveExpired)
 			n.tracef("expire", "stale=%s", e.ptr.ID)
 			if n.obs.PeerRemoved != nil {
 				n.obs.PeerRemoved(e.ptr, RemoveExpired)

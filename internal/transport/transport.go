@@ -24,6 +24,7 @@ import (
 	"peerwindow/internal/des"
 	"peerwindow/internal/metrics"
 	"peerwindow/internal/nodeid"
+	"peerwindow/internal/query"
 	"peerwindow/internal/topology"
 	"peerwindow/internal/trace"
 	"peerwindow/internal/wire"
@@ -228,6 +229,11 @@ func (n *Network) SpawnObserved(name string, threshold float64, obs core.Observe
 		ID: nodeid.Hash([]byte(fmt.Sprintf("%s/%d", name, addr))),
 	}
 	h.node = core.NewNode(coreCfg, h, obs, self)
+	// Every host carries a query-plane store fed by the node's delta
+	// stream; attaching before Bootstrap/Join means the store folds the
+	// window from empty and its views are always exactly the peer list.
+	h.store = query.NewStore(nil)
+	h.node.SetDeltas(h.store)
 	if n.cfg.Trace != nil {
 		// Protocol-level events interleave with message flow in the ring.
 		h.node.SetTrace(n.cfg.Trace)
@@ -318,6 +324,7 @@ type Host struct {
 	attach topology.Attachment
 	rng    *xrand.Source
 	node   *core.Node
+	store  *query.Store
 
 	inbox chan func()
 	quit  chan struct{}
@@ -408,8 +415,13 @@ func (h *Host) InputRate() float64 {
 func (h *Host) MetricsSnapshot() metrics.Snapshot {
 	var s metrics.Snapshot
 	h.call(func() { s = h.node.MetricsSnapshot() })
+	s.Merge(h.store.MetricsSnapshot())
 	return s
 }
+
+// Query returns the host's query-plane store. Safe from any goroutine;
+// reading a view or subscribing never touches the executor.
+func (h *Host) Query() *query.Store { return h.store }
 
 // Bootstrap makes this host the first overlay member.
 func (h *Host) Bootstrap() {

@@ -30,6 +30,7 @@ import (
 	"peerwindow/internal/des"
 	"peerwindow/internal/metrics"
 	"peerwindow/internal/nodeid"
+	"peerwindow/internal/query"
 	"peerwindow/internal/trace"
 	"peerwindow/internal/wire"
 	"peerwindow/internal/xrand"
@@ -67,6 +68,10 @@ type Node struct {
 
 	ring  *trace.Ring
 	spans *trace.SpanBuffer
+
+	// store is the query-plane snapshot store fed by the node's delta
+	// stream (see internal/query).
+	store *query.Store
 }
 
 // Listen binds a UDP socket (addr like "127.0.0.1:0") and starts the
@@ -119,6 +124,8 @@ func Listen(addr, name string, budget float64, cfg core.Config) (*Node, error) {
 	}
 	n.tcp = tcp
 	n.node = core.NewNode(cfg, n, core.Observer{}, n.self)
+	n.store = query.NewStore(nil)
+	n.node.SetDeltas(n.store)
 	n.wg.Add(3)
 	go n.loop()
 	go n.read()
@@ -297,8 +304,13 @@ func (n *Node) MetricsSnapshot() metrics.Snapshot {
 	n.call(func() { s = n.node.MetricsSnapshot() })
 	n.reg.Gauge(metrics.MetricNetBulkSends).Set(int64(n.BulkSends()))
 	s.Merge(n.reg.Snapshot())
+	s.Merge(n.store.MetricsSnapshot())
 	return s
 }
+
+// Query returns the node's query-plane store. Safe from any goroutine;
+// reading a view or subscribing never touches the executor.
+func (n *Node) Query() *query.Store { return n.store }
 
 // EnableTrace attaches a fresh ring of the given capacity to the node:
 // protocol-level moments (probe rounds, detections, shifts, retries) are

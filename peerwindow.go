@@ -20,12 +20,12 @@
 //	ov, _ := peerwindow.NewOverlay(peerwindow.Defaults())
 //	defer ov.Close()
 //	alice, _ := ov.Spawn("alice")
-//	bob, _ := ov.Spawn("bob")
-//	bob.SetInfo([]byte("os=linux"))
+//	bob, _ := ov.Spawn("bob", peerwindow.WithInfo([]byte("os=linux")))
 //	...
-//	linuxen := alice.Window().ByInfo(func(b []byte) bool {
-//		return strings.Contains(string(b), "os=linux")
-//	})
+//	linuxen := alice.View().InfoContains("os=linux")
+//
+// View returns an immutable, indexed snapshot (see docs/QUERY.md);
+// Subscribe delivers window changes as they happen instead of polling.
 package peerwindow
 
 import (
@@ -40,6 +40,7 @@ import (
 	"peerwindow/internal/core"
 	"peerwindow/internal/des"
 	"peerwindow/internal/metrics"
+	"peerwindow/internal/query"
 	"peerwindow/internal/topology"
 	"peerwindow/internal/trace"
 	"peerwindow/internal/transport"
@@ -282,6 +283,10 @@ func WithBudget(bitsPerSec float64) SpawnOption {
 }
 
 // WithWatcher registers a Watcher for the peer's window changes.
+//
+// Deprecated: use Peer.Subscribe, which adds update events, epoch
+// alignment with View snapshots, and bounded buffering with drop
+// accounting instead of synchronous callbacks on the protocol path.
 func WithWatcher(w Watcher) SpawnOption {
 	return func(c *spawnConfig) { c.watcher = w }
 }
@@ -574,14 +579,15 @@ func toPublic(q wire.Pointer) Pointer {
 	}
 }
 
-// Window returns the peer's current window snapshot.
+// Window returns the peer's current window snapshot, materialized as a
+// flat copy in ascending ID order.
+//
+// Deprecated: Window copies all N pointers on every call and its helpers
+// scan them linearly. Use View, which snapshots the same window without
+// copying and answers Lookup/Strongest/InfoContains/WithField through
+// incremental indexes; Window() is now View().Window().
 func (p *Peer) Window() Window {
-	ps := p.host.Pointers()
-	out := make(Window, len(ps))
-	for i, q := range ps {
-		out[i] = toPublic(q)
-	}
-	return out
+	return p.View().Window()
 }
 
 // Filter keeps pointers satisfying pred.
@@ -608,24 +614,89 @@ func (w Window) InfoContains(substr string) Window {
 }
 
 // Strongest returns up to k pointers with the smallest level values —
-// "looking at the level value for powerful nodes" (§3).
+// "looking at the level value for powerful nodes" (§3) — ordered by
+// ascending level, original window order within a level (exactly the
+// prefix a stable sort by level would produce). A bounded k-element
+// selection keeps the cost at O(n·log k) time and O(k) space instead of
+// copying and sorting the whole window.
 func (w Window) Strongest(k int) Window {
-	out := append(Window(nil), w...)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Level < out[j].Level })
-	if k < len(out) {
-		out = out[:k]
+	if k >= len(w) {
+		out := append(Window(nil), w...)
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Level < out[j].Level })
+		return out
+	}
+	if k <= 0 {
+		return Window{}
+	}
+	// Max-heap on (level, index): the root is the worst kept candidate,
+	// evicted whenever a strictly better pointer appears.
+	type cand struct{ level, idx int }
+	h := make([]cand, 0, k)
+	worse := func(a, b cand) bool {
+		if a.level != b.level {
+			return a.level > b.level
+		}
+		return a.idx > b.idx
+	}
+	up := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !worse(h[i], h[p]) {
+				return
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	down := func(i int) {
+		for {
+			l, r, m := 2*i+1, 2*i+2, i
+			if l < len(h) && worse(h[l], h[m]) {
+				m = l
+			}
+			if r < len(h) && worse(h[r], h[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for i := range w {
+		c := cand{level: w[i].Level, idx: i}
+		if len(h) < k {
+			h = append(h, c)
+			up(len(h) - 1)
+		} else if worse(h[0], c) {
+			h[0] = c
+			down(0)
+		}
+	}
+	sort.Slice(h, func(i, j int) bool {
+		if h[i].level != h[j].level {
+			return h[i].level < h[j].level
+		}
+		return h[i].idx < h[j].idx
+	})
+	out := make(Window, len(h))
+	for i, c := range h {
+		out[i] = w[c.idx]
 	}
 	return out
 }
 
 // Sample returns up to k uniformly random pointers, reproducible from
-// seed.
+// seed. A partial Fisher–Yates shuffle draws only k values from the
+// generator (the old implementation permuted the entire window), so
+// sampling a handful of peers from a large window is O(k); on the same
+// snapshot, View.Sample selects exactly the same peers.
 func (w Window) Sample(k int, seed uint64) Window {
 	if k >= len(w) {
 		return append(Window(nil), w...)
 	}
-	rng := xrand.New(seed)
-	idx := rng.Perm(len(w))[:k]
+	idx := query.SampleIndexes(len(w), k, seed)
 	out := make(Window, 0, k)
 	for _, i := range idx {
 		out = append(out, w[i])

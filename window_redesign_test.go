@@ -1,0 +1,175 @@
+package peerwindow
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"peerwindow/internal/query"
+	"peerwindow/internal/xrand"
+)
+
+// refSampleIndexes is the specification for query.SampleIndexes: a full
+// forward Fisher–Yates over a real index array, stopping after k draws.
+// The production code's dense branch is this verbatim and its sparse
+// branch must consume the identical draw sequence, so both must match
+// this reference for every (n, k, seed).
+func refSampleIndexes(n, k int, seed uint64) []int {
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	rng := xrand.New(seed)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out[i] = idx[i]
+	}
+	return out
+}
+
+// TestSampleIndexesPinned pins concrete outputs of the sampling helper.
+// These values are part of the compatibility surface: Window.Sample and
+// View.Sample promise seed-reproducible selections, so a change here is
+// a breaking change for callers that persist seeds.
+func TestSampleIndexesPinned(t *testing.T) {
+	cases := []struct {
+		n, k int
+		seed uint64
+		want []int
+	}{
+		{10, 4, 7, []int{7, 3, 8, 9}},      // dense branch (4k >= n)
+		{100, 4, 7, []int{70, 28, 84, 98}}, // sparse branch (4k < n)
+		{8, 8, 1, []int{5, 4, 0, 1, 6, 2, 3, 7}},
+		{1000, 6, 42, []int{83, 379, 680, 924, 991, 770}},
+	}
+	for _, c := range cases {
+		got := query.SampleIndexes(c.n, c.k, c.seed)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("SampleIndexes(%d, %d, %d) = %v, want %v", c.n, c.k, c.seed, got, c.want)
+		}
+	}
+}
+
+// TestSampleIndexesBranchAgreement drives both representation branches
+// against the reference across a grid of shapes and seeds: the map-backed
+// sparse branch must pick exactly the indexes the array-backed dense
+// branch picks, or a seed would select different peers depending on
+// window size.
+func TestSampleIndexesBranchAgreement(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 16, 33, 100, 257, 1000, 5000} {
+		for _, k := range []int{0, 1, 2, 3, 8, 17, 64} {
+			for seed := uint64(0); seed < 5; seed++ {
+				got := query.SampleIndexes(n, k, seed)
+				want := refSampleIndexes(n, k, seed)
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("SampleIndexes(%d, %d, %d) = %v, reference = %v", n, k, seed, got, want)
+				}
+				seen := make(map[int]bool, len(got))
+				for _, ix := range got {
+					if ix < 0 || ix >= n {
+						t.Fatalf("SampleIndexes(%d, %d, %d): index %d out of range", n, k, seed, ix)
+					}
+					if seen[ix] {
+						t.Fatalf("SampleIndexes(%d, %d, %d): duplicate index %d", n, k, seed, ix)
+					}
+					seen[ix] = true
+				}
+			}
+		}
+	}
+}
+
+// TestWindowSamplePinned pins Window.Sample against a concrete window so
+// the seed → selection mapping cannot drift silently.
+func TestWindowSamplePinned(t *testing.T) {
+	w := make(Window, 10)
+	for i := range w {
+		w[i] = Pointer{ID: fmt.Sprintf("n%02d", i), Level: i % 3}
+	}
+	got := w.Sample(4, 7)
+	want := []string{"n07", "n03", "n08", "n09"} // SampleIndexes(10, 4, 7)
+	if len(got) != len(want) {
+		t.Fatalf("Sample(4, 7) returned %d pointers, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("Sample(4, 7)[%d] = %q, want %q", i, got[i].ID, id)
+		}
+	}
+	// k >= len keeps the historical copy-everything behavior, in order.
+	all := w.Sample(10, 99)
+	for i := range all {
+		if all[i].ID != w[i].ID {
+			t.Fatalf("Sample(len) should copy in order; [%d] = %q", i, all[i].ID)
+		}
+	}
+}
+
+// TestStrongestHeapMatchesStableSort is the equivalence property for the
+// bounded-heap Strongest: for random windows and every k it must return
+// exactly what the old implementation — stable sort by level, take the
+// prefix — returned.
+func TestStrongestHeapMatchesStableSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		w := make(Window, n)
+		for i := range w {
+			w[i] = Pointer{ID: fmt.Sprintf("p%03d", i), Level: rng.Intn(6)}
+		}
+		ref := append(Window(nil), w...)
+		sort.SliceStable(ref, func(i, j int) bool { return ref[i].Level < ref[j].Level })
+		for _, k := range []int{0, 1, 2, n / 2, n - 1, n, n + 5} {
+			got := w.Strongest(k)
+			wantLen := k
+			if wantLen > n {
+				wantLen = n
+			}
+			if wantLen < 0 {
+				wantLen = 0
+			}
+			if len(got) != wantLen {
+				t.Fatalf("trial %d: Strongest(%d) returned %d of %d", trial, k, len(got), wantLen)
+			}
+			for i := 0; i < wantLen; i++ {
+				if got[i].ID != ref[i].ID {
+					t.Fatalf("trial %d: Strongest(%d)[%d] = %q, stable sort gives %q",
+						trial, k, i, got[i].ID, ref[i].ID)
+				}
+			}
+		}
+	}
+}
+
+// TestStrongestAllocsIndependentOfN guards the redesign's point: picking
+// k strongest peers must allocate proportionally to k, not to the window
+// size, so the allocation count at N=256 and N=4096 must be identical.
+func TestStrongestAllocsIndependentOfN(t *testing.T) {
+	mk := func(n int) Window {
+		w := make(Window, n)
+		for i := range w {
+			w[i] = Pointer{ID: fmt.Sprintf("p%05d", i), Level: i % 7}
+		}
+		return w
+	}
+	small, large := mk(256), mk(4096)
+	const k = 8
+	allocsSmall := testing.AllocsPerRun(50, func() { _ = small.Strongest(k) })
+	allocsLarge := testing.AllocsPerRun(50, func() { _ = large.Strongest(k) })
+	if allocsSmall != allocsLarge {
+		t.Fatalf("Strongest(%d) allocations scale with N: %.0f at N=256 vs %.0f at N=4096",
+			k, allocsSmall, allocsLarge)
+	}
+	if allocsLarge > 8 {
+		t.Fatalf("Strongest(%d) makes %.0f allocations, want a small constant", k, allocsLarge)
+	}
+}
