@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"peerwindow/internal/query"
@@ -21,6 +22,9 @@ import (
 //	               delta and subscription counters
 //	/debug/trace   the retained event ring, newest last, as plain text
 //	/debug/spans   the retained causal spans as JSONL (pipe to pwtrace)
+//	/debug/pprof/  the standard Go profiler endpoints (CPU, heap,
+//	               goroutine, block, mutex); see docs/OBSERVABILITY.md
+//	               for the capture recipes
 //
 // The endpoints read through the node's executor, so they are safe to
 // scrape while the protocol runs; they are meant for localhost
@@ -164,6 +168,15 @@ func startDebugServer(addr, name string, n *udptransport.Node) (net.Listener, er
 		}
 		buf.WriteJSONL(w)
 	})
+
+	// The profiler endpoints register on http.DefaultServeMux via the
+	// pprof package's init; mount them on this private mux explicitly so
+	// nothing else riding DefaultServeMux is exposed by accident.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)

@@ -35,7 +35,9 @@ func main() {
 		info      = flag.String("info", "", "application info to attach to the pointer")
 		interval  = flag.Duration("interval", 10*time.Second, "status print interval")
 		fast      = flag.Bool("fast", false, "compress protocol timers ~50x for local demos")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/window, /debug/query, /debug/trace and /debug/spans over HTTP on this address (empty: disabled)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/window, /debug/query, /debug/trace, /debug/spans and /debug/pprof over HTTP on this address (empty: disabled)")
+		telemAddr = flag.String("telemetry-addr", "", "push telemetry frames to a pwcollect UDP address (empty: disabled, zero overhead)")
+		telemIvl  = flag.Duration("telemetry-interval", 2*time.Second, "telemetry flush interval (jittered ±20%)")
 	)
 	flag.Parse()
 
@@ -70,6 +72,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("debug server on http://%s (/metrics, /debug/window, /debug/query, /debug/trace, /debug/spans)\n", ln.Addr())
+	}
+
+	var telemStop chan struct{}
+	var telemDone chan struct{}
+	if *telemAddr != "" {
+		stop, done, err := startTelemetry(*telemAddr, *telemIvl, nodeName, n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		telemStop, telemDone = stop, done
+		fmt.Printf("telemetry to udp://%s every %v\n", *telemAddr, *telemIvl)
 	}
 
 	if *join == "" {
@@ -111,6 +125,11 @@ func main() {
 		case <-sig:
 			fmt.Println("leaving politely…")
 			n.Leave()
+			if telemStop != nil {
+				// One final flush so the collector sees the shutdown totals.
+				close(telemStop)
+				<-telemDone
+			}
 			return
 		}
 	}

@@ -1,0 +1,150 @@
+// Command pwtop is a live terminal dashboard over a pwcollect /health
+// feed: one row per node (level, window size, events/sec, staleness,
+// health score, alerts), refreshed in place, with the cluster alert
+// lines at the bottom.
+//
+//	pwtop -collector http://127.0.0.1:7101
+//	pwtop -collector http://127.0.0.1:7101 -sort events
+//	pwtop -once            # print one snapshot and exit (CI smoke)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"peerwindow/internal/telemetry"
+)
+
+func main() {
+	var (
+		collector = flag.String("collector", "http://127.0.0.1:7101", "pwcollect base URL")
+		interval  = flag.Duration("interval", 2*time.Second, "refresh interval")
+		sortKey   = flag.String("sort", "health", "row order: health | addr | events | level | window")
+		once      = flag.Bool("once", false, "print one snapshot without screen control and exit")
+	)
+	flag.Parse()
+
+	if *once {
+		if err := render(os.Stdout, *collector, *sortKey, false); err != nil {
+			fmt.Fprintln(os.Stderr, "pwtop:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		if err := render(os.Stdout, *collector, *sortKey, true); err != nil {
+			// The collector may be restarting; show the error where the
+			// table was and keep polling.
+			fmt.Printf("\x1b[2J\x1b[Hpwtop: %v (retrying)\n", err)
+		}
+		select {
+		case <-tick.C:
+		case <-sig:
+			fmt.Println()
+			return
+		}
+	}
+}
+
+// fetch pulls and decodes the /health document.
+func fetch(base string) (telemetry.HealthDoc, error) {
+	var doc telemetry.HealthDoc
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/health")
+	if err != nil {
+		return doc, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return doc, fmt.Errorf("/health: %s", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return doc, fmt.Errorf("/health: %w", err)
+	}
+	return doc, nil
+}
+
+// render writes one table. clear=true prefixes ANSI clear-screen so the
+// table refreshes in place.
+func render(w io.Writer, base, sortKey string, clear bool) error {
+	doc, err := fetch(base)
+	if err != nil {
+		return err
+	}
+	orderRows(doc.Nodes, sortKey)
+
+	var b strings.Builder
+	if clear {
+		b.WriteString("\x1b[2J\x1b[H")
+	}
+	fmt.Fprintf(&b, "pwtop — %d nodes, beacon %.1fs, collector uptime %.0fs\n\n",
+		len(doc.Nodes), doc.BeaconSeconds, doc.AtSeconds)
+	fmt.Fprintf(&b, "%-18s %5s %6s %9s %8s %7s  %s\n",
+		"NODE", "LVL", "WIN", "EV/S", "SEEN(s)", "HEALTH", "ALERTS")
+	for _, n := range doc.Nodes {
+		name := n.Name
+		if name == "" {
+			name = fmt.Sprintf("node-%d", n.Addr)
+		}
+		if len(name) > 18 {
+			name = name[:18]
+		}
+		fmt.Fprintf(&b, "%-18s %5d %6d %9.1f %8.1f %7.0f  %s\n",
+			name, n.Level, n.Window, n.EventsPerSec, n.LastSeenSeconds,
+			n.Health, strings.Join(n.Alerts, ","))
+	}
+	b.WriteString("\n")
+	if len(doc.Alerts) == 0 {
+		b.WriteString("alerts: none\n")
+	}
+	for _, a := range doc.Alerts {
+		fmt.Fprintf(&b, "alerts: %s\n", a)
+	}
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// orderRows sorts the table. Ties (and the default) fall back to the
+// address so the layout is stable between refreshes.
+func orderRows(nodes []telemetry.NodeHealth, key string) {
+	sort.SliceStable(nodes, func(i, j int) bool {
+		a, b := nodes[i], nodes[j]
+		switch key {
+		case "events":
+			if a.EventsPerSec != b.EventsPerSec {
+				return a.EventsPerSec > b.EventsPerSec
+			}
+		case "level":
+			if a.Level != b.Level {
+				return a.Level > b.Level
+			}
+		case "window":
+			if a.Window != b.Window {
+				return a.Window > b.Window
+			}
+		case "health":
+			if a.Health != b.Health {
+				return a.Health < b.Health // sickest first
+			}
+		}
+		return a.Addr < b.Addr
+	})
+}

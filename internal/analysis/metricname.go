@@ -14,8 +14,11 @@ package analysis
 //     layer adds it), and Snapshot.WritePrometheus is always called with
 //     the canonical "pw" prefix;
 //  4. registration and snapshot-lookup call sites (Registry.Counter/
-//     Gauge/Histogram, MetricsSnapshot.Counter/Gauge) must spell the
-//     name through a Metric* constant — never a loose string literal.
+//     Gauge/Histogram, MetricsSnapshot.Counter/Gauge, and the telemetry
+//     plane's HealthScores.Set) must spell the name through a Metric*
+//     constant — never a loose string literal. Telemetry frame fields
+//     and health-score keys live in the same dotted namespace as the
+//     instruments they aggregate, so they obey the same rules.
 //
 // Test files are exempt: throwaway instrument names in unit tests are
 // fine.
@@ -35,11 +38,14 @@ import (
 // and checked separately.
 var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(?:[._][a-z0-9]+)*$`)
 
-// registrarTypes are the named types whose Counter/Gauge/Histogram
-// methods constitute a metric-name use.
-var registrarTypes = map[string]bool{
-	"Registry":        true,
-	"MetricsSnapshot": true,
+// registrarTypes maps each registrar type to the methods of it whose
+// first argument is a metric (or health-signal) name. Matching is by
+// receiver type name and method name together, so Gauge.Set — a value
+// setter, not a name registration — stays out of scope.
+var registrarTypes = map[string]map[string]bool{
+	"Registry":        {"Counter": true, "Gauge": true, "Histogram": true},
+	"MetricsSnapshot": {"Counter": true, "Gauge": true, "Histogram": true},
+	"HealthScores":    {"Set": true},
 }
 
 // MetricName enforces the metric naming and single-declaration rules.
@@ -118,7 +124,7 @@ func (st *metricState) run(pass *Pass) error {
 				return true
 			}
 			switch sel.Sel.Name {
-			case "Counter", "Gauge", "Histogram":
+			case "Counter", "Gauge", "Histogram", "Set":
 				if !isRegistrarMethod(info, sel) || len(call.Args) == 0 {
 					return true
 				}
@@ -140,8 +146,9 @@ func (st *metricState) run(pass *Pass) error {
 	return nil
 }
 
-// isRegistrarMethod reports whether sel resolves to a method on one of
-// the registrar types (metrics.Registry, peerwindow.MetricsSnapshot).
+// isRegistrarMethod reports whether sel resolves to a name-taking
+// method of one of the registrar types (metrics.Registry,
+// peerwindow.MetricsSnapshot, telemetry.HealthScores).
 func isRegistrarMethod(info *types.Info, sel *ast.SelectorExpr) bool {
 	fn, ok := info.Uses[sel.Sel].(*types.Func)
 	if !ok {
@@ -159,7 +166,7 @@ func isRegistrarMethod(info *types.Info, sel *ast.SelectorExpr) bool {
 	if !ok {
 		return false
 	}
-	return registrarTypes[named.Obj().Name()]
+	return registrarTypes[named.Obj().Name()][fn.Name()]
 }
 
 // checkNameArg validates the name argument of a registration call: it

@@ -57,3 +57,26 @@ func expose(r *Registry, w io.Writer) {
 	r.WritePrometheus(w, "pw")
 	r.WritePrometheus(w, "peerwindow") // want `the exposition namespace is always "pw"`
 }
+
+// HealthScores mirrors the telemetry plane's health-signal registrar:
+// its Set method takes a signal name, which lives in the same dotted
+// namespace as the instruments and obeys the same constant rule.
+type HealthScores map[string]float64
+
+func (h HealthScores) Set(name string, v float64) { h[name] = v }
+
+// Gauge has a Set method too, but it takes a value, not a name — the
+// analyzer must match receiver type AND method, not the name "Set"
+// alone.
+type Gauge struct{}
+
+func (g *Gauge) Set(v int64) {}
+
+const MetricHealthScore = "health.score"
+
+func scores(h HealthScores, g *Gauge) {
+	h.Set(MetricHealthScore, 99)
+	h.Set("health.adhoc", 1) // want `loose string literal`
+	h.Set(looseName, 0)      // want `must be named Metric\*`
+	g.Set(42)                // a value setter; not a metric-name use
+}

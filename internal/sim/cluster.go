@@ -130,6 +130,11 @@ type Cluster struct {
 	// forward cross-shard sends through the window-barrier mailboxes. It
 	// reports whether it accepted the message.
 	route func(sn *SimNode, msg wire.Message, key uint64) bool
+
+	// onAddNode observes every node the moment it is added — the hook
+	// the telemetry tap (telemetry.go) uses to attach exporters to nodes
+	// created after ExportTelemetry was called.
+	onAddNode func(sn *SimNode)
 }
 
 // SimNode wraps one core.Node inside the cluster and implements
@@ -298,6 +303,9 @@ func (c *Cluster) addNodeAt(addr wire.Addr, attach topology.Attachment, rng *xra
 	}
 	c.nodes = append(c.nodes, sn)
 	c.byAddr[addr] = sn
+	if c.onAddNode != nil {
+		c.onAddNode(sn)
+	}
 	return sn
 }
 

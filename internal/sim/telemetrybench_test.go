@@ -1,0 +1,36 @@
+package sim
+
+// Exporter overhead benchmarks: the same warm-started run with the
+// telemetry plane off (the default; nothing is constructed, addNodeAt
+// pays one nil hook check) and on (per-node delta flushes into an
+// in-process collector every 10 virtual seconds). The "off" number is
+// the PR's zero-cost claim; compare it against the pre-PR baseline.
+//
+// Run with:
+//
+//	go test -bench Telemetry -benchmem ./internal/sim
+
+import (
+	"testing"
+
+	"peerwindow/internal/des"
+	"peerwindow/internal/workload"
+
+	"peerwindow/internal/core"
+)
+
+func benchRun(b *testing.B, attach bool) {
+	wl := workload.DefaultConfig()
+	wl.MeanLifetime = 10 * des.Hour
+	for i := 0; i < b.N; i++ {
+		c := NewCluster(ClusterConfig{Core: core.DefaultConfig(), Seed: uint64(i + 1)})
+		c.WarmStart(400, wl, 2)
+		if attach {
+			c.ExportTelemetry(TelemetryConfig{Interval: 10 * des.Second})
+		}
+		c.Run(5 * des.Minute)
+	}
+}
+
+func BenchmarkChurnTelemetryOff(b *testing.B) { benchRun(b, false) }
+func BenchmarkChurnTelemetryOn(b *testing.B)  { benchRun(b, true) }

@@ -9,6 +9,7 @@ package sim
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"peerwindow/internal/des"
@@ -89,9 +90,13 @@ func (ts *Timeseries) capture() {
 
 // WriteCSV renders the series as CSV: the fixed columns (virtual seconds,
 // nodes, cumulative messages/bits/drops) followed by one column per
-// requested counter name (zero when a sample lacks it).
-func (ts *Timeseries) WriteCSV(w io.Writer, counters ...string) error {
-	header := append([]string{"seconds", "nodes", "messages", "bits", "dropped"}, counters...)
+// requested field. A field resolves, in order: counter name (integer),
+// gauge name (integer), histogram percentile "name:pNN" (e.g.
+// "probe.detect_latency_seconds:p99", linear interpolation inside the
+// matched bucket). Unknown names render as zero so a series whose early
+// samples predate an instrument still lines up.
+func (ts *Timeseries) WriteCSV(w io.Writer, fields ...string) error {
+	header := append([]string{"seconds", "nodes", "messages", "bits", "dropped"}, fields...)
 	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
 		return err
 	}
@@ -99,12 +104,34 @@ func (ts *Timeseries) WriteCSV(w io.Writer, counters ...string) error {
 		row := fmt.Sprintf("%.3f,%d,%d,%d,%d",
 			float64(s.At)/float64(des.Second), s.Nodes,
 			s.MessagesSent, s.BitsSent, s.Dropped)
-		for _, name := range counters {
-			row += fmt.Sprintf(",%d", s.Metrics.Counters[name])
+		for _, field := range fields {
+			if name, q, ok := splitQuantileField(field); ok {
+				row += fmt.Sprintf(",%g", s.Metrics.Histograms[name].Quantile(q))
+				continue
+			}
+			if v, ok := s.Metrics.Counters[field]; ok {
+				row += fmt.Sprintf(",%d", v)
+				continue
+			}
+			row += fmt.Sprintf(",%d", s.Metrics.Gauges[field])
 		}
 		if _, err := fmt.Fprintln(w, row); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// splitQuantileField parses "name:pNN" percentile column specs — the
+// same syntax the collector's /timeseries endpoint accepts.
+func splitQuantileField(field string) (name string, q float64, ok bool) {
+	i := strings.LastIndex(field, ":p")
+	if i < 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(field[i+2:])
+	if err != nil || n < 0 || n > 100 {
+		return "", 0, false
+	}
+	return field[:i], float64(n) / 100, true
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -81,6 +82,66 @@ func TestTimeseriesWriteCSV(t *testing.T) {
 	for _, ln := range lines[1:] {
 		if strings.Count(ln, ",") != 5 {
 			t.Fatalf("row %q has wrong column count", ln)
+		}
+	}
+}
+
+// TestTimeseriesWriteCSVFields pins the extended column syntax: counters,
+// gauges, and histogram percentiles in one header.
+func TestTimeseriesWriteCSVFields(t *testing.T) {
+	c := smallCluster(t, 6, 9)
+	ts := c.SampleMetrics(time2())
+	c.Run(6 * des.Minute)
+	var buf bytes.Buffer
+	err := ts.WriteCSV(&buf, "probe.rounds", "peer.window_size",
+		"probe.detect_latency_seconds:p50", "probe.detect_latency_seconds:p99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := "seconds,nodes,messages,bits,dropped,probe.rounds,peer.window_size," +
+		"probe.detect_latency_seconds:p50,probe.detect_latency_seconds:p99"
+	if lines[0] != want {
+		t.Fatalf("header = %q\n     want %q", lines[0], want)
+	}
+	for _, ln := range lines[1:] {
+		cols := strings.Split(ln, ",")
+		if len(cols) != 9 {
+			t.Fatalf("row %q has %d columns, want 9", ln, len(cols))
+		}
+		// Gauge column: the merged window-size gauge across 6 nodes of a
+		// 6-node full mesh is 6×5 (Snapshot.Merge sums gauges).
+		if cols[6] != "30" {
+			t.Fatalf("peer.window_size column = %q, want 30", cols[6])
+		}
+		// Percentile columns parse as floats and keep p50 <= p99.
+		p50, err1 := strconv.ParseFloat(cols[7], 64)
+		p99, err2 := strconv.ParseFloat(cols[8], 64)
+		if err1 != nil || err2 != nil || p50 > p99 {
+			t.Fatalf("percentile columns %q / %q invalid", cols[7], cols[8])
+		}
+	}
+}
+
+func TestSplitQuantileField(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string
+		q    float64
+		ok   bool
+	}{
+		{"probe.detect_latency_seconds:p99", "probe.detect_latency_seconds", 0.99, true},
+		{"a:p0", "a", 0, true},
+		{"a:p100", "a", 1, true},
+		{"a:p101", "", 0, false},
+		{"a:pxx", "", 0, false},
+		{"plain.counter", "", 0, false},
+	}
+	for _, tc := range cases {
+		name, q, ok := splitQuantileField(tc.in)
+		if name != tc.name || q != tc.q || ok != tc.ok {
+			t.Fatalf("splitQuantileField(%q) = (%q,%v,%v), want (%q,%v,%v)",
+				tc.in, name, q, ok, tc.name, tc.q, tc.ok)
 		}
 	}
 }

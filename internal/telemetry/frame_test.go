@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"peerwindow/internal/des"
+	"peerwindow/internal/metrics"
+	"peerwindow/internal/nodeid"
+	"peerwindow/internal/trace"
+	"peerwindow/internal/wire"
+)
+
+func testFrame() *Frame {
+	return &Frame{
+		Node:          wire.Addr(42),
+		Seq:           7,
+		At:            3 * des.Second,
+		FramesDropped: 2,
+		SpansDropped:  5,
+		Regressions:   1,
+		Beacon: &Beacon{
+			Name:   "node-42",
+			ID:     nodeid.ID{Hi: 0xdead, Lo: 0xbeef},
+			Level:  3,
+			Window: 17,
+		},
+		Delta: metrics.Snapshot{
+			Counters: map[string]uint64{"net.send_frames": 10, "probe.sent": 4},
+			Gauges:   map[string]int64{"window.size": 17, "level": -1},
+			Histograms: map[string]metrics.HistSnapshot{
+				"probe.detect_latency_seconds": {
+					Bounds: []float64{1, 10, 60},
+					Counts: []uint64{2, 1, 0, 1},
+					Count:  4,
+					Sum:    73.5,
+				},
+			},
+		},
+		Spans: []trace.Span{
+			{
+				At:    2 * des.Second,
+				Node:  42,
+				Trace: wire.TraceID{Origin: nodeid.ID{Hi: 1, Lo: 2}, Seq: 9},
+				Kind:  trace.SpanKind(1),
+				Child: 43,
+				Step:  2,
+			},
+		},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := testFrame()
+	b := f.Marshal()
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, f)
+	}
+}
+
+func TestFrameMarshalDeterministic(t *testing.T) {
+	f := testFrame()
+	a, b := f.Marshal(), f.Marshal()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two marshals of the same frame differ")
+	}
+	// Semantically identical frame built with a different map insertion
+	// order must encode to the same bytes.
+	g := testFrame()
+	g.Delta.Counters = map[string]uint64{"probe.sent": 4, "net.send_frames": 10}
+	if !bytes.Equal(a, g.Marshal()) {
+		t.Fatalf("marshal depends on map insertion order")
+	}
+}
+
+func TestFrameRoundTripMinimal(t *testing.T) {
+	f := &Frame{Node: 1, Seq: 0, At: 0}
+	got, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("minimal round-trip mismatch: got %+v", got)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatalf("nil accepted")
+	}
+	if _, err := Unmarshal([]byte("XXXX rest")); err == nil {
+		t.Fatalf("bad magic accepted")
+	}
+	b := testFrame().Marshal()
+	for _, cut := range []int{5, len(b) / 2, len(b) - 1} {
+		if _, err := Unmarshal(b[:cut]); err == nil {
+			t.Fatalf("truncated frame (%d bytes) accepted", cut)
+		}
+	}
+	if _, err := Unmarshal(append(append([]byte{}, b...), 0)); err == nil {
+		t.Fatalf("trailing bytes accepted")
+	}
+}

@@ -1,0 +1,271 @@
+package telemetry
+
+// Health scoring: the collector reduces each node's telemetry stream to
+// a handful of raw signals and one 0–100 score, with stall and flap
+// detectors that raise named alerts when a node crosses thresholds.
+// The "Democracy in P2P" line of work motivates the shape: peer-quality
+// signals computed centrally from cheap, continuously shipped evidence,
+// usable later to down-weight misbehaving nodes. docs/OBSERVABILITY.md
+// documents every signal and the exact score formula.
+
+import (
+	"sort"
+	"strings"
+
+	"peerwindow/internal/des"
+)
+
+// HealthScores maps health-signal names (the MetricHealth* constants)
+// to raw values. pwlint's metricname analyzer treats Set like a
+// Registry registration: the name must be spelled through a Metric*
+// constant, so the /health document's keys stay in the one namespace.
+type HealthScores map[string]float64
+
+// Set records one signal.
+func (h HealthScores) Set(name string, v float64) { h[name] = v }
+
+// HealthConfig holds the detector thresholds.
+type HealthConfig struct {
+	// BeaconInterval is the exporters' expected flush cadence; the
+	// staleness detector measures ages in units of it.
+	BeaconInterval des.Time
+	// StaleAfter flags a node as stale (crashed or partitioned) when no
+	// frame arrived for this long. Default 1.8× BeaconInterval, so a
+	// crashed node is flagged within 2 beacon intervals even with the
+	// exporter's ±20% jitter.
+	StaleAfter des.Time
+	// DownAfter writes the node off entirely (score 0). Default 4×.
+	DownAfter des.Time
+	// DetectP99Budget is the failure-detection latency the overlay is
+	// expected to stay under; p99 above it costs score
+	// proportionally. Default 60 virtual seconds (2× the paper's 30 s
+	// probe interval).
+	DetectP99Budget des.Time
+	// FlapWindow / FlapThreshold: more than FlapThreshold level changes
+	// within FlapWindow raises the "flapping" alert. Defaults: 5
+	// changes in 10 beacon intervals.
+	FlapWindow    des.Time
+	FlapThreshold int
+	// StallSamples: a node whose protocol counters advanced by nothing
+	// across this many consecutive stored samples (while still
+	// beaconing) is "stalled". Default 5.
+	StallSamples int
+}
+
+func (c *HealthConfig) fill() {
+	if c.BeaconInterval <= 0 {
+		c.BeaconInterval = 2 * des.Second
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = c.BeaconInterval + (c.BeaconInterval*4)/5
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 4 * c.BeaconInterval
+	}
+	if c.DetectP99Budget <= 0 {
+		c.DetectP99Budget = 60 * des.Second
+	}
+	if c.FlapWindow <= 0 {
+		c.FlapWindow = 10 * c.BeaconInterval
+	}
+	if c.FlapThreshold <= 0 {
+		c.FlapThreshold = 5
+	}
+	if c.StallSamples <= 0 {
+		c.StallSamples = 5
+	}
+}
+
+// NodeHealth is one node's row in the /health document.
+type NodeHealth struct {
+	Addr            uint64       `json:"addr"`
+	Name            string       `json:"name"`
+	ID              string       `json:"id"`
+	Level           int          `json:"level"`
+	Window          int          `json:"window"`
+	LastSeenSeconds float64      `json:"last_seen_seconds"`
+	EventsPerSec    float64      `json:"events_per_sec"`
+	Health          float64      `json:"health"`
+	Scores          HealthScores `json:"scores"`
+	Alerts          []string     `json:"alerts,omitempty"`
+
+	FramesReceived     uint64 `json:"frames_received"`
+	FramesMissing      uint64 `json:"frames_missing"`
+	ExporterFrameDrops uint64 `json:"exporter_frame_drops"`
+	ExporterSpanDrops  uint64 `json:"exporter_span_drops"`
+	SpansReceived      uint64 `json:"spans_received"`
+}
+
+// HealthDoc is the /health endpoint's JSON document.
+type HealthDoc struct {
+	AtSeconds     float64      `json:"at_seconds"`
+	BeaconSeconds float64      `json:"beacon_seconds"`
+	Nodes         []NodeHealth `json:"nodes"`
+	Alerts        []string     `json:"alerts"`
+}
+
+// scoreNode computes one node's health row at collector time now.
+func scoreNode(ns *nodeState, now des.Time, cfg HealthConfig) NodeHealth {
+	h := NodeHealth{
+		Addr:               uint64(ns.addr),
+		Name:               ns.name,
+		ID:                 ns.id.String(),
+		Level:              ns.level,
+		Window:             ns.window,
+		Scores:             HealthScores{},
+		FramesReceived:     ns.framesReceived,
+		FramesMissing:      ns.framesMissing,
+		ExporterFrameDrops: ns.exporterFrameDrops,
+		ExporterSpanDrops:  ns.exporterSpanDrops,
+		SpansReceived:      ns.spansReceived,
+	}
+	age := now - ns.lastSeen
+	if age < 0 {
+		age = 0
+	}
+	h.LastSeenSeconds = age.Seconds()
+	score := 1.0
+
+	// Heartbeat staleness: full credit inside one beacon interval,
+	// linear decay to zero at StaleAfter; past it the node is presumed
+	// crashed or partitioned.
+	h.Scores.Set(MetricHealthStalenessSeconds, age.Seconds())
+	switch {
+	case age >= cfg.DownAfter:
+		h.Alerts = append(h.Alerts, "down")
+		score = 0
+	case age >= cfg.StaleAfter:
+		h.Alerts = append(h.Alerts, "stale")
+		score = 0
+	case age > cfg.BeaconInterval:
+		score *= 1 - float64(age-cfg.BeaconInterval)/float64(cfg.StaleAfter-cfg.BeaconInterval)
+	}
+
+	// Failure-detection latency: p99 of the accumulated detect-latency
+	// histogram against the budget.
+	if dh, ok := ns.totals.Histograms[detectLatencyName]; ok && dh.Count > 0 {
+		p99 := dh.Quantile(0.99)
+		h.Scores.Set(MetricHealthDetectP99Seconds, p99)
+		if budget := cfg.DetectP99Budget.Seconds(); p99 > budget {
+			score *= budget / p99
+		}
+	}
+
+	// Span loss at the exporter (evictions + refused frames).
+	if tot := ns.spansReceived + ns.exporterSpanDrops; tot > 0 {
+		rate := float64(ns.exporterSpanDrops) / float64(tot)
+		h.Scores.Set(MetricHealthSpanDropRate, rate)
+		score *= 1 - rate
+	}
+
+	// Frame loss on the wire (collector-observed sequence gaps).
+	if tot := ns.framesReceived + ns.framesMissing; tot > 0 {
+		rate := float64(ns.framesMissing) / float64(tot)
+		h.Scores.Set(MetricHealthFrameLossRate, rate)
+		if rate > 0.05 {
+			h.Alerts = append(h.Alerts, "lossy")
+		}
+		score *= 1 - rate
+	}
+
+	// Send/receive asymmetry: a node sending much more than it hears
+	// back (or vice versa) has a one-way link or is being ignored.
+	sendB, recvB := prefixSum(ns.totals.Counters, "net.send"), prefixSum(ns.totals.Counters, "net.recv")
+	if m := max64(sendB, recvB); m >= 100 {
+		asym := float64(m-min64(sendB, recvB)) / float64(m)
+		h.Scores.Set(MetricHealthSendRecvAsymmetry, asym)
+		if asym > 0.5 {
+			h.Alerts = append(h.Alerts, "asymmetric")
+			score *= 1 - (asym - 0.5)
+		}
+	}
+
+	// Event rate over the stored window, plus the stall detector:
+	// frozen protocol counters while the node still beacons.
+	rate, flat := ns.eventRate(cfg.StallSamples)
+	h.EventsPerSec = rate
+	h.Scores.Set(MetricHealthEventsPerSec, rate)
+	if flat && age < cfg.StaleAfter && ns.ringCount >= cfg.StallSamples {
+		h.Alerts = append(h.Alerts, "stalled")
+		score *= 0.5
+	}
+
+	// Flap detector: level changes inside the window.
+	if flaps := ns.levelChangesSince(now - cfg.FlapWindow); flaps > cfg.FlapThreshold {
+		h.Alerts = append(h.Alerts, "flapping")
+		score *= 0.7
+	}
+
+	if score < 0 {
+		score = 0
+	}
+	h.Health = 100 * score
+	h.Scores.Set(MetricHealthScore, h.Health)
+	return h
+}
+
+// detectLatencyName is core.MetricProbeDetectLatency; spelled here to
+// avoid importing the protocol engine into the telemetry plane (the
+// collector treats instrument names as opaque strings from frames).
+const detectLatencyName = "probe.detect_latency_seconds"
+
+func prefixSum(m map[string]uint64, prefix string) uint64 {
+	var s uint64
+	for k, v := range m {
+		if strings.HasPrefix(k, prefix) {
+			s += v
+		}
+	}
+	return s
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// summarize builds the collector-level alert lines for the doc footer
+// (and pwtop's alert line): one line per alert kind naming the nodes.
+func summarize(nodes []NodeHealth) []string {
+	byAlert := map[string][]string{}
+	for _, n := range nodes {
+		for _, a := range n.Alerts {
+			name := n.Name
+			if name == "" {
+				name = nodeLabel(n.Addr)
+			}
+			byAlert[a] = append(byAlert[a], name)
+		}
+	}
+	kinds := make([]string, 0, len(byAlert))
+	for k := range byAlert {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	out := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		sort.Strings(byAlert[k])
+		out = append(out, k+": "+strings.Join(byAlert[k], ", "))
+	}
+	return out
+}
+
+// counterActivity sums a sample's protocol counters — the "events" a
+// stall detector watches. All counters participate: any protocol
+// activity at all (probes, multicasts, refreshes) counts as liveness.
+func counterActivity(c map[string]uint64) uint64 {
+	var s uint64
+	for _, v := range c {
+		s += v
+	}
+	return s
+}

@@ -140,6 +140,42 @@ func (b *SpanBuffer) Total() uint64 {
 	return b.total
 }
 
+// SnapshotSince is the batch-draining primitive behind periodic span
+// export: it returns the spans recorded after the first cursor spans
+// ever seen by the buffer, oldest-first, along with the new cursor (the
+// buffer's total at read time) and how many spans were evicted before
+// this read could retain them (missed). Passing the returned cursor to
+// the next call yields each span exactly once without mutating the
+// buffer, so a polling exporter can share it with /debug/spans readers.
+// A cursor ahead of the total (a restarted buffer) resynchronizes to
+// the present and reports nothing missed.
+func (b *SpanBuffer) SnapshotSince(cursor uint64) (spans []Span, next uint64, missed uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	next = b.total
+	if cursor > next {
+		cursor = next
+	}
+	firstRetained := b.total - uint64(b.count)
+	if cursor < firstRetained {
+		missed = firstRetained - cursor
+		cursor = firstRetained
+	}
+	n := int(next - cursor)
+	if n == 0 {
+		return nil, next, missed
+	}
+	spans = make([]Span, 0, n)
+	start := b.next - n
+	if start < 0 {
+		start += len(b.buf)
+	}
+	for i := 0; i < n; i++ {
+		spans = append(spans, b.buf[(start+i)%len(b.buf)])
+	}
+	return spans, next, missed
+}
+
 // Snapshot returns the retained spans oldest-first.
 func (b *SpanBuffer) Snapshot() []Span {
 	b.mu.Lock()

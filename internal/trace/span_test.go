@@ -144,3 +144,50 @@ func TestSpanBufferWriteJSONL(t *testing.T) {
 		t.Fatalf("round trip via buffer: %+v, %v", got, err)
 	}
 }
+
+func TestSpanBufferSnapshotSince(t *testing.T) {
+	b := NewSpanBuffer(4)
+	for i := 0; i < 3; i++ {
+		b.RecordSpan(testSpan(i))
+	}
+	spans, cursor, missed := b.SnapshotSince(0)
+	if len(spans) != 3 || cursor != 3 || missed != 0 {
+		t.Fatalf("first drain: %d spans cursor=%d missed=%d", len(spans), cursor, missed)
+	}
+	for i, s := range spans {
+		if s.Node != uint64(i+1) {
+			t.Fatalf("span %d out of order: node %d", i, s.Node)
+		}
+	}
+	// Nothing new: empty batch, cursor unchanged.
+	spans, cursor, missed = b.SnapshotSince(cursor)
+	if len(spans) != 0 || cursor != 3 || missed != 0 {
+		t.Fatalf("idle drain: %d spans cursor=%d missed=%d", len(spans), cursor, missed)
+	}
+	// Overrun the capacity-4 ring by 6 spans: the drain reports the
+	// evictions and returns only the retained tail.
+	for i := 3; i < 10; i++ {
+		b.RecordSpan(testSpan(i))
+	}
+	spans, cursor, missed = b.SnapshotSince(cursor)
+	if missed != 3 {
+		t.Fatalf("missed = %d want 3", missed)
+	}
+	if len(spans) != 4 || cursor != 10 {
+		t.Fatalf("overrun drain: %d spans cursor=%d", len(spans), cursor)
+	}
+	if spans[0].Node != 7 || spans[3].Node != 10 {
+		t.Fatalf("retained tail wrong: nodes %d..%d", spans[0].Node, spans[3].Node)
+	}
+	// The drain does not consume: a /debug/spans-style Snapshot still
+	// sees the same retained spans.
+	if got := b.Snapshot(); len(got) != 4 {
+		t.Fatalf("Snapshot after drain retained %d", len(got))
+	}
+	// A cursor from a previous buffer generation (ahead of total)
+	// resynchronizes without panicking.
+	spans, cursor, missed = b.SnapshotSince(99)
+	if len(spans) != 0 || cursor != 10 || missed != 0 {
+		t.Fatalf("ahead cursor: %d spans cursor=%d missed=%d", len(spans), cursor, missed)
+	}
+}
