@@ -3,13 +3,17 @@
 // package patterns (default ./...). It exits non-zero when any
 // diagnostic survives, so CI can gate on it:
 //
-//	go run ./cmd/pwlint ./...
+//	go run ./cmd/pwlint -json ./...
 //
-// Suppress a finding with a //pwlint:allow <analyzer> comment on the
-// offending line or the line above it. See docs/STATIC_ANALYSIS.md.
+// -json emits one JSON object per diagnostic (analyzer, position,
+// message, and the offending call path for interprocedural findings);
+// -v prints per-analyzer wall times to stderr. Suppress a finding with
+// a //pwlint:allow <analyzer> comment on the offending line or the line
+// above it. See docs/STATIC_ANALYSIS.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,10 +21,22 @@ import (
 	"peerwindow/internal/analysis"
 )
 
+// jsonDiagnostic is the machine-readable shape of one finding.
+type jsonDiagnostic struct {
+	Analyzer string   `json:"analyzer"`
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Column   int      `json:"column"`
+	Message  string   `json:"message"`
+	Path     []string `json:"path,omitempty"`
+}
+
 func main() {
 	listOnly := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic per line instead of text")
+	verbose := flag.Bool("v", false, "print per-analyzer wall time to stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: pwlint [-list] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: pwlint [-list] [-json] [-v] [packages]\n\nAnalyzers:\n")
 		for _, a := range analysis.All() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-15s %s\n", a.Name, a.Doc)
 		}
@@ -39,13 +55,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pwlint:", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.Run(prog, analysis.All())
+	diags, timings, err := analysis.RunTimed(prog, analysis.All())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pwlint:", err)
 		os.Exit(2)
 	}
+	if *verbose {
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "pwlint: %-15s %v\n", t.Name, t.Duration)
+		}
+	}
 	for _, d := range diags {
-		fmt.Println(d)
+		if *jsonOut {
+			line, err := json.Marshal(jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+				Path:     d.Path,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pwlint:", err)
+				os.Exit(2)
+			}
+			fmt.Println(string(line))
+		} else {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "pwlint: %d diagnostic(s)\n", len(diags))

@@ -6,6 +6,6 @@ module peerwindow
 go 1.22
 
 require (
-	golang.org/x/vuln v1.1.3
-	honnef.co/go/tools v0.4.7 // staticcheck 2024.1.1
+	golang.org/x/vuln v1.1.4
+	honnef.co/go/tools v0.5.1 // staticcheck 2024.1.1 lineage, go1.23-aware
 )

@@ -20,6 +20,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Analyzer is one named check. Run is invoked once per loaded package;
@@ -42,16 +44,24 @@ type Analyzer struct {
 	Finish func(report func(d Diagnostic))
 }
 
-// Diagnostic is one reported finding, with its position resolved.
+// Diagnostic is one reported finding, with its position resolved. Path,
+// when non-empty, is the offending call chain from the reported call
+// site down to the intrinsic effect (interprocedural analyzers only).
 type Diagnostic struct {
 	Pos      token.Position
 	Message  string
 	Analyzer string
+	Path     []string
 }
 
-// String renders the diagnostic in the conventional file:line:col form.
+// String renders the diagnostic in the conventional file:line:col form,
+// with the call path (if any) indented on a second line.
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	s := fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	if len(d.Path) > 0 {
+		s += "\n\tcall path: " + strings.Join(d.Path, " -> ")
+	}
+	return s
 }
 
 // Pass carries one package through one analyzer.
@@ -72,6 +82,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportPathf records a diagnostic at pos carrying an offending call
+// path (see Diagnostic.Path).
+func (p *Pass) ReportPathf(pos token.Pos, path []string, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+		Path:     path,
+	})
+}
+
 // Program is a set of loaded, type-checked packages sharing a FileSet.
 type Program struct {
 	Fset     *token.FileSet
@@ -79,6 +100,24 @@ type Program struct {
 
 	// allows maps filename -> line -> analyzer names allowed there.
 	allows map[string]map[int][]string
+
+	// cg is the lazily built interprocedural call graph + fact store
+	// shared by the analyzers (see callgraph.go, facts.go).
+	cg        *callGraph
+	graphOnce sync.Once
+}
+
+// graph builds (once) the call graph and solves the fact fixpoint. Safe
+// for concurrent use from parallel analyzer passes.
+func (prog *Program) graph() *callGraph {
+	prog.graphOnce.Do(func() {
+		if prog.allows == nil {
+			prog.buildAllows()
+		}
+		prog.cg = buildCallGraph(prog)
+		prog.cg.solve()
+	})
+	return prog.cg
 }
 
 // Package is one type-checked package (possibly a test variant).
@@ -100,22 +139,60 @@ type Package struct {
 	Info  *types.Info
 }
 
+// Timing is one analyzer's wall-clock cost over the whole program
+// (pwlint -v prints these).
+type Timing struct {
+	Name     string
+	Duration time.Duration
+}
+
 // Run executes the analyzers over the program and returns the surviving
 // diagnostics, sorted by position, with //pwlint:allow suppressions
 // applied.
 func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(prog, analyzers)
+	return diags, err
+}
+
+// RunTimed is Run plus per-analyzer wall times. Analyzers execute in
+// order (their Init/Finish hooks see a quiet program), but each
+// analyzer's per-package Run calls execute concurrently — pwlint itself
+// is not under the nodeterminism contract, and every Run implementation
+// only reads the program and its Init-built state.
+func RunTimed(prog *Program, analyzers []*Analyzer) ([]Diagnostic, []Timing, error) {
 	prog.buildAllows()
 	var diags []Diagnostic
+	timings := make([]Timing, 0, len(analyzers))
 	for _, a := range analyzers {
-		report := func(d Diagnostic) { diags = append(diags, d) }
+		start := time.Now()
+		var mu sync.Mutex
+		report := func(d Diagnostic) {
+			mu.Lock()
+			diags = append(diags, d)
+			mu.Unlock()
+		}
 		if a.Init != nil {
 			a.Init(prog)
 		}
+		var wg sync.WaitGroup
+		var firstErr error
 		for _, pkg := range prog.Packages {
-			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, report: report}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ListPath, err)
-			}
+			wg.Add(1)
+			go func(pkg *Package) {
+				defer wg.Done()
+				pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, report: report}
+				if err := a.Run(pass); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ListPath, err)
+					}
+					mu.Unlock()
+				}
+			}(pkg)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, nil, firstErr
 		}
 		if a.Finish != nil {
 			a.Finish(func(d Diagnostic) {
@@ -123,6 +200,7 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 				diags = append(diags, d)
 			})
 		}
+		timings = append(timings, Timing{Name: a.Name, Duration: time.Since(start)})
 	}
 	kept := diags[:0]
 	for _, d := range diags {
@@ -141,9 +219,12 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return kept, nil
+	return kept, timings, nil
 }
 
 // allowPrefix is the suppression directive marker. The directive must be
@@ -198,12 +279,20 @@ func (prog *Program) allowed(d Diagnostic) bool {
 	return false
 }
 
+// allowedAtPos reports whether a diagnostic of the named analyzer at
+// pos would be suppressed. The fact engine uses this to keep justified
+// effect sites from transitively poisoning callers.
+func (prog *Program) allowedAtPos(analyzer string, pos token.Pos) bool {
+	return prog.allowed(Diagnostic{Pos: prog.Fset.Position(pos), Analyzer: analyzer})
+}
+
 // All returns the pwlint analyzer suite in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
 		NoDeterminism,
 		SchedPure,
 		LockSafe,
+		NoAlloc,
 		MetricName,
 		NoDeprecated,
 	}

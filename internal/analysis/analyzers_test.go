@@ -23,6 +23,10 @@ func TestLockSafe(t *testing.T) {
 	analysistest.Run(t, analysis.LockSafe, "locksafe")
 }
 
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, analysis.NoAlloc, "noalloc")
+}
+
 func TestMetricName(t *testing.T) {
 	analysistest.Run(t, analysis.MetricName, "metricname")
 }

@@ -22,7 +22,9 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 )
 
 // listPackage mirrors the subset of `go list -json` output the loader
@@ -86,6 +88,7 @@ func Load(dir string, patterns ...string) (*Program, error) {
 		}
 	}
 	prog := &Program{Fset: token.NewFileSet()}
+	var targets []*listPackage
 	for _, p := range order {
 		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
 			continue
@@ -99,12 +102,33 @@ func Load(dir string, patterns ...string) (*Program, error) {
 		if p.Error != nil {
 			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
 		}
-		pkg, err := typeCheck(prog.Fset, p, byPath)
+		targets = append(targets, p)
+	}
+	// Type-check the targets concurrently: each package checks against
+	// its dependencies' export data with its own importer, the shared
+	// FileSet is internally locked, and the slot order keeps
+	// prog.Packages deterministic. (pwlint itself is not under the
+	// nodeterminism contract.)
+	pkgs := make([]*Package, len(targets))
+	errs := make([]error, len(targets))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, p := range targets {
+		wg.Add(1)
+		go func(i int, p *listPackage) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pkgs[i], errs[i] = typeCheck(prog.Fset, p, byPath)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		prog.Packages = append(prog.Packages, pkg)
 	}
+	prog.Packages = pkgs
 	return prog, nil
 }
 

@@ -9,10 +9,16 @@ package analysis
 // whole overlay. transport.Network.Close shows the required shape: copy
 // under the lock, release, then do the blocking work.
 //
-// The analysis is intraprocedural and deliberately biased toward false
-// negatives: critical sections are tracked per function body in source
-// order, branches merge by intersection, and function literals are
-// analyzed as their own (lock-free) contexts.
+// Critical sections are tracked per function body in source order,
+// branches merge by intersection, and function literals are analyzed as
+// their own (lock-free) contexts — deliberately biased toward false
+// negatives. Calls under a held lock are judged interprocedurally: a
+// callee inside the loaded set is checked against its computed blocking
+// fact (chan ops, selects, and transitive blocking calls; see facts.go)
+// and the offending call path is printed, which both catches blocking
+// work hidden behind helpers and retires the name heuristic for
+// callees proven non-blocking. Unknown/out-of-set callees still fall
+// back to the blocking-name heuristic.
 
 import (
 	"go/ast"
@@ -41,8 +47,9 @@ var blockingNames = map[string]bool{
 var LockSafe = &Analyzer{
 	Name: "locksafe",
 	Doc: "forbid transport sends, executor calls, channel operations and other " +
-		"blocking calls while a sync.Mutex/RWMutex is held (copy under the lock, " +
-		"release, then block; escape hatch: //pwlint:allow locksafe)",
+		"blocking calls — including ones reached through helper chains, per the " +
+		"call-graph blocking facts — while a sync.Mutex/RWMutex is held (copy " +
+		"under the lock, release, then block; escape hatch: //pwlint:allow locksafe)",
 	Run: runLockSafe,
 }
 
@@ -262,12 +269,51 @@ func (w *lockWalker) scan(node ast.Node, held []heldLock) {
 				w.pass.Reportf(n.Pos(), "channel receive while %s is held", lock.key)
 			}
 		case *ast.CallExpr:
+			if w.blockingViaGraph(n, lock) {
+				return true
+			}
 			if name, ok := w.blockingCallee(n); ok {
 				w.pass.Reportf(n.Pos(), "call to blocking %s while %s is held (release the lock first)", name, lock.key)
 			}
 		}
 		return true
 	})
+}
+
+// blockingViaGraph judges a call under a held lock through the fact
+// engine. It returns true when the engine had a verdict (an in-set
+// static callee, or an interface call with a blocking candidate), in
+// which case the name heuristic is skipped — a callee named Send that
+// provably never blocks no longer needs an allow. Out-of-set and
+// dynamic callees return false and fall through to the heuristic.
+func (w *lockWalker) blockingViaGraph(call *ast.CallExpr, lock heldLock) bool {
+	g := w.pass.Prog.graph()
+	cs, ok := g.resolveCall(w.pass.Pkg, nil, call)
+	if !ok {
+		return false
+	}
+	switch cs.kind {
+	case callStatic:
+		n := g.nodes[cs.static]
+		if n == nil {
+			return false
+		}
+		if n.fact[factBlock] {
+			w.pass.ReportPathf(call.Pos(), g.path(cs.static, factBlock),
+				"call to %s may block while %s is held (release the lock first)", cs.static, lock.key)
+		}
+		return true
+	case callInterface:
+		for _, cand := range cs.candidates {
+			if n := g.nodes[cand]; n != nil && n.fact[factBlock] {
+				w.pass.ReportPathf(call.Pos(), g.path(cand, factBlock),
+					"call to %s (resolving to %s) may block while %s is held (release the lock first)",
+					cs.static, cand, lock.key)
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // blockingCallee reports whether the call's resolved callee is in the

@@ -1,0 +1,113 @@
+package analysis
+
+// noalloc enforces the zero-allocation contracts the paper's efficiency
+// claims rest on. A function annotated
+//
+//	//pwlint:noalloc [reason]
+//
+// (in its doc comment) may contain no heap-allocation site — make/new,
+// growing appends, map and slice literals, map writes, closure capture,
+// interface boxing, string concatenation or conversion, method values —
+// and may not transitively call anything that may allocate, per the
+// call-graph fact engine (facts.go). Idioms the runtime AllocsPerRun
+// guards already bless are excused by construction: the self-append
+// amortized builder `x = append(x, ...)` (and its
+// `append(x, make([]T, n)...)` grow variant), closures handed straight
+// to sort.Search, and calls through func-typed parameters (the caller
+// supplies the callback, the caller owns its allocations).
+//
+// The escape hatch is //pwlint:allow noalloc on the offending line; it
+// also removes the site from the fact computation, so one justified
+// cold-path allocation (a panic formatter, say) does not poison every
+// annotated caller. Each annotation should be mirrored by an
+// AllocsPerRun guard in the package's alloc_test.go — the static gate
+// and the runtime guard pin the same contract from both sides (see
+// docs/STATIC_ANALYSIS.md).
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// noallocMarker is the annotation directive, in a function's doc
+// comment.
+const noallocMarker = "pwlint:noalloc"
+
+// NoAlloc enforces //pwlint:noalloc annotations transitively.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc: "forbid heap allocation — directly or through any transitive callee — in " +
+		"functions annotated //pwlint:noalloc; amortized self-append builders, " +
+		"sort.Search closures and func-parameter callbacks are excused " +
+		"(escape hatch: //pwlint:allow noalloc)",
+	Run: runNoAlloc,
+}
+
+// hasNoallocMarker reports whether the declaration's doc comment carries
+// the annotation.
+func hasNoallocMarker(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == noallocMarker || strings.HasPrefix(text, noallocMarker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func runNoAlloc(pass *Pass) error {
+	g := pass.Prog.graph()
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasNoallocMarker(fd) {
+				continue
+			}
+			obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			key, ok := keyOfFunc(obj)
+			if !ok {
+				continue
+			}
+			node := g.nodes[key]
+			if node == nil || node.decl != fd {
+				continue
+			}
+			checkNoAlloc(pass, g, node)
+		}
+	}
+	return nil
+}
+
+// checkNoAlloc reports every allocation site and every allocating call
+// edge of one annotated function.
+func checkNoAlloc(pass *Pass, g *callGraph, node *funcNode) {
+	name := node.key.String()
+	for i := range node.intrinsics[factAlloc] {
+		src := &node.intrinsics[factAlloc][i]
+		pass.Reportf(src.pos, "allocation in //pwlint:noalloc function %s: %s", name, src.what)
+	}
+	for _, cs := range node.calls {
+		bad, callee, external := g.edgeFact(cs, factAlloc)
+		if !bad {
+			continue
+		}
+		switch {
+		case callee == (funcKey{}):
+			pass.Reportf(cs.pos,
+				"dynamic call in //pwlint:noalloc function %s: the callee is not statically resolvable, so it may allocate (pass it as a func parameter to shift the contract to the caller)", name)
+		case external:
+			pass.Reportf(cs.pos,
+				"call to %s in //pwlint:noalloc function %s: out-of-scope callee not on the allocation-free allowlist", callee, name)
+		default:
+			pass.ReportPathf(cs.pos, g.path(callee, factAlloc),
+				"call to %s in //pwlint:noalloc function %s may allocate", callee, name)
+		}
+	}
+}

@@ -53,13 +53,16 @@ var forbiddenTimeFuncs = map[string]bool{
 }
 
 // NoDeterminism forbids wall-clock time, global math/rand and goroutines
-// inside the deterministic simulation packages.
+// inside the deterministic simulation packages — directly, and (since
+// the call-graph fact engine) through any chain of statically resolved
+// helpers, including cross-package ones.
 var NoDeterminism = &Analyzer{
 	Name: "nodeterminism",
 	Doc: "forbid time.Now/time.Since and friends, math/rand, and goroutines in " +
-		"internal/core, internal/des, internal/sim and internal/shard; the simulation " +
-		"must stay a pure function of its seed (use des virtual time, internal/xrand, " +
-		"and the DES engine). internal/shard alone may start goroutines — it is the " +
+		"internal/core, internal/des, internal/sim and internal/shard, directly or " +
+		"through any statically resolved helper chain; the simulation must stay a " +
+		"pure function of its seed (use des virtual time, internal/xrand, and the " +
+		"DES engine). internal/shard alone may start goroutines — it is the " +
 		"sanctioned shard-driver package (escape hatch: //pwlint:allow nodeterminism)",
 	Run: runNoDeterminism,
 }
@@ -115,6 +118,59 @@ func runNoDeterminism(pass *Pass) error {
 			}
 			return true
 		})
+	}
+	return checkInterprocedural(pass, goAllowed)
+}
+
+// detFactDescription names each propagated fact in diagnostics.
+func detFactDescription(k factKind) string {
+	switch k {
+	case factClock:
+		return "may read the wall clock"
+	case factRand:
+		return "may draw from global math/rand"
+	default:
+		return "may start goroutines"
+	}
+}
+
+// checkInterprocedural flags calls from deterministic-scope functions to
+// out-of-scope helpers whose fact summary says they may read the wall
+// clock, use global math/rand, or start goroutines. Only static edges
+// are followed: the Env capability interface is the sanctioned seam
+// between simulation code and live transports, so interface calls stay
+// out (see facts.go). Calls into other deterministic-scope packages are
+// skipped too — a violation there is reported at its own site, and
+// direct calls into time/math/rand are already flagged by the syntactic
+// pass above. Test files are exempt from the transitive rule, matching
+// schedpure: tests may drive wall-clock plumbing (exporters, transports)
+// around the deterministic core.
+func checkInterprocedural(pass *Pass, goAllowed bool) error {
+	g := pass.Prog.graph()
+	for _, node := range g.nodes {
+		if node.pkg != pass.Pkg || isTestFile(pass.Prog.Fset, node.pos) {
+			continue
+		}
+		for _, cs := range node.calls {
+			if cs.kind != callStatic {
+				continue
+			}
+			callee := g.nodes[cs.static]
+			if callee == nil || inDeterministicScope(callee.pkg) {
+				continue
+			}
+			for _, k := range [...]factKind{factClock, factRand, factGo} {
+				if k == factGo && goAllowed {
+					continue
+				}
+				if !callee.fact[k] {
+					continue
+				}
+				pass.ReportPathf(cs.pos, g.path(cs.static, k),
+					"call to %s in deterministic package: the callee %s, which breaks seed reproducibility",
+					cs.static, detFactDescription(k))
+			}
+		}
 	}
 	return nil
 }

@@ -1,25 +1,59 @@
 // Package locksafe exercises the held-lock analysis: blocking calls and
-// channel operations inside critical sections are findings, the
-// copy-release-then-block shape is clean.
+// channel operations inside critical sections are findings — including
+// ones hidden behind helper calls, per the call-graph blocking facts —
+// while the copy-release-then-block shape and calls to provably
+// non-blocking callees are clean.
 package locksafe
 
 import "sync"
 
-type transport struct{}
+// transport.Send really blocks: it hands the frame to the network
+// goroutine over a channel.
+type transport struct{ out chan []byte }
 
-func (transport) Send(b []byte) {}
+func (t transport) Send(b []byte) { t.out <- b }
+
+// quietSender.Send provably never blocks. Under the old name heuristic
+// calling it under a lock needed a //pwlint:allow; the fact engine
+// retires that.
+type quietSender struct{ last []byte }
+
+func (q *quietSender) Send(b []byte) { q.last = b }
+
+type sender interface {
+	Send(b []byte)
+}
 
 type host struct {
 	mu    sync.Mutex
 	state sync.RWMutex
 	tr    transport
+	quiet quietSender
 	peers []string
 	ch    chan int
 }
 
 func (h *host) badSend(b []byte) {
 	h.mu.Lock()
-	h.tr.Send(b) // want `call to blocking \(locksafe\) Send while h\.mu is held`
+	h.tr.Send(b) // want `call to pwfixture\.transport\.Send may block while h\.mu is held`
+	h.mu.Unlock()
+}
+
+// flush hides the blocking send one call away — the old intraprocedural
+// pass could not see through it.
+func (h *host) flush(b []byte) {
+	h.tr.Send(b)
+}
+
+func (h *host) badHelperSend(b []byte) {
+	h.mu.Lock()
+	h.flush(b) // want `call to pwfixture\.host\.flush may block while h\.mu is held`
+	h.mu.Unlock()
+}
+
+func (h *host) badIfaceSend(s sender, b []byte) {
+	h.mu.Lock()
+	s.Send(b) // want `call to pwfixture\.sender\.Send \(resolving to pwfixture\.transport\.Send\) may block`
 	h.mu.Unlock()
 }
 
@@ -32,7 +66,7 @@ func (h *host) badChannelOps() {
 
 func (h *host) badUnderRLock(b []byte) {
 	h.state.RLock()
-	h.tr.Send(b) // want `call to blocking \(locksafe\) Send while h\.state is held`
+	h.tr.Send(b) // want `call to pwfixture\.transport\.Send may block while h\.state is held`
 	h.state.RUnlock()
 }
 
@@ -76,8 +110,16 @@ func (h *host) goodLiteralIsOwnContext(b []byte) func() {
 	return func() { h.tr.Send(b) }
 }
 
+// goodProvenQuiet: the callee is named Send but its blocking fact is
+// false, so no diagnostic and no allow needed.
+func (h *host) goodProvenQuiet(b []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.quiet.Send(b)
+}
+
 func (h *host) allowedSend(b []byte) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.tr.Send(b) //pwlint:allow locksafe this transport send is non-blocking
+	h.tr.Send(b) //pwlint:allow locksafe the out channel is buffered deep enough for the window invariant
 }

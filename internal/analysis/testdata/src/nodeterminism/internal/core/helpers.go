@@ -1,0 +1,37 @@
+// Helper-evasion cases: the wall clock, global rand and goroutines hide
+// one or two calls away in a package outside the determinism contract.
+// The old intraprocedural pass provably missed every one of these; the
+// call-graph fact engine reports them at the call site with the
+// offending path.
+package core
+
+import "pwfixture/outside"
+
+func evadeClock() int64 {
+	return outside.SneakyNow() // want `call to outside\.SneakyNow in deterministic package: the callee may read the wall clock`
+}
+
+func evadeTwoHops() int64 {
+	return outside.DoubleHop() // want `call to outside\.DoubleHop in deterministic package: the callee may read the wall clock`
+}
+
+func evadeRand() int {
+	return outside.Jitter() // want `call to outside\.Jitter in deterministic package: the callee may draw from global math/rand`
+}
+
+func evadeGo() {
+	outside.Detach(func() {}) // want `call to outside\.Detach in deterministic package: the callee may start goroutines`
+}
+
+// okPureHelper: calling an out-of-scope helper is fine when its fact
+// summary is clean.
+func okPureHelper(x int) int {
+	return outside.Scale(x)
+}
+
+// allowedEvasion: the escape hatch still works on interprocedural
+// findings, and the allow keeps the edge out of this function's own
+// fact summary.
+func allowedEvasion() int64 {
+	return outside.SneakyNow() //pwlint:allow nodeterminism wall clock used for coarse logging only
+}

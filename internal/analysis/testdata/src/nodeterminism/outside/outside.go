@@ -13,3 +13,29 @@ func Uptime(start time.Time) time.Duration {
 	_ = rand.Int()
 	return time.Since(start)
 }
+
+// SneakyNow hides a wall-clock read one call away from the contract —
+// bait for the interprocedural pass.
+func SneakyNow() int64 {
+	return time.Now().UnixNano()
+}
+
+// DoubleHop hides it two calls away.
+func DoubleHop() int64 {
+	return SneakyNow()
+}
+
+// Jitter draws from global math/rand behind a helper.
+func Jitter() int {
+	return rand.Int()
+}
+
+// Detach starts a goroutine behind a helper.
+func Detach(f func()) {
+	go f()
+}
+
+// Scale is a pure helper: deterministic callers may use it freely.
+func Scale(x int) int {
+	return x * 2
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"peerwindow/internal/nodeid"
+	"peerwindow/internal/wire"
+)
+
+// allocList builds a warm peer list of n entries with ascending IDs and
+// returns the (sorted) pointer batch it was built from.
+func allocList(n int) (*PeerList, []wire.Pointer) {
+	pl := &PeerList{}
+	ps := make([]wire.Pointer, n)
+	for i := range ps {
+		ps[i] = wire.Pointer{
+			Addr:  wire.Addr(i + 1),
+			ID:    nodeid.ID{Hi: uint64(i+1) << 32, Lo: uint64(i)},
+			Level: uint8(i % 8),
+		}
+		pl.Upsert(ps[i], 0)
+	}
+	return pl, ps
+}
+
+// The peer-list read and update-in-place paths carry //pwlint:noalloc
+// contracts; these guards pin them at runtime.
+
+func TestPeerListReadPathDoesNotAllocate(t *testing.T) {
+	pl, ps := allocList(512)
+	i := 0
+	if allocs := testing.AllocsPerRun(1000, func() {
+		p := ps[i%len(ps)]
+		if _, ok := pl.Lookup(p.ID); !ok {
+			t.Fatal("lookup miss")
+		}
+		if !pl.Touch(p.ID, 1) {
+			t.Fatal("touch miss")
+		}
+		if pl.MinLevel() != 0 {
+			t.Fatal("bad min level")
+		}
+		if _, ok := pl.Strongest(); !ok {
+			t.Fatal("no strongest")
+		}
+		i++
+	}); allocs != 0 {
+		t.Fatalf("read path allocates %v per round", allocs)
+	}
+}
+
+func TestPeerListUpdateInPlaceDoesNotAllocate(t *testing.T) {
+	pl, ps := allocList(512)
+	i := 0
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if pl.Upsert(ps[i%len(ps)], 2) {
+			t.Fatal("update created a new entry")
+		}
+		i++
+	}); allocs != 0 {
+		t.Fatalf("in-place upsert allocates %v per call", allocs)
+	}
+}
+
+func TestMergeSortedUpdateOnlyDoesNotAllocate(t *testing.T) {
+	pl, ps := allocList(512)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if n := pl.MergeSorted(ps, 3, nil, nil); n != 0 {
+			t.Fatalf("update-only merge added %d entries", n)
+		}
+	}); allocs != 0 {
+		t.Fatalf("update-only merge allocates %v per batch", allocs)
+	}
+}

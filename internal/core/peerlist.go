@@ -114,6 +114,8 @@ func (pl *PeerList) search(id nodeid.ID) int {
 }
 
 // Lookup returns the pointer for id, if present.
+//
+//pwlint:noalloc
 func (pl *PeerList) Lookup(id nodeid.ID) (wire.Pointer, bool) {
 	i := pl.search(id)
 	if i < len(pl.entries) && pl.entries[i].ptr.ID == id {
@@ -124,7 +126,10 @@ func (pl *PeerList) Lookup(id nodeid.ID) (wire.Pointer, bool) {
 
 // Upsert inserts the pointer or updates it in place, returning true when
 // the pointer was new. Updates refresh lastSeen but preserve firstSeen,
-// so lifetime measurement spans the node's whole observed life.
+// so lifetime measurement spans the node's whole observed life. The
+// entries append is the amortized self-append builder.
+//
+//pwlint:noalloc
 func (pl *PeerList) Upsert(p wire.Pointer, now des.Time) bool {
 	i := pl.search(p.ID)
 	if i < len(pl.entries) && pl.entries[i].ptr.ID == p.ID {
@@ -158,6 +163,8 @@ func (pl *PeerList) Upsert(p wire.Pointer, now des.Time) bool {
 // per-entry Upsert — callbacks then fire per entry, in batch order — so
 // callers feeding network-supplied batches keep Upsert semantics in the
 // worst case rather than corrupting the list.
+//
+//pwlint:noalloc
 func (pl *PeerList) MergeSorted(ps []wire.Pointer, now des.Time, onNew func(wire.Pointer), onUpdate func(old, new wire.Pointer)) int {
 	if len(ps) == 0 {
 		return 0
@@ -197,7 +204,7 @@ func (pl *PeerList) MergeSorted(ps []wire.Pointer, now des.Time, onNew func(wire
 	}
 	var added []wire.Pointer
 	if onNew != nil && newCount > 0 {
-		added = make([]wire.Pointer, 0, newCount)
+		added = make([]wire.Pointer, 0, newCount) //pwlint:allow noalloc deferred-callback staging buffer, sized once per batch
 	}
 	type change struct{ old, new wire.Pointer }
 	var updated []change
@@ -264,6 +271,8 @@ func (pl *PeerList) MergeSorted(ps []wire.Pointer, now des.Time, onNew func(wire
 // MinLevel returns the smallest level among held pointers, or -1 when the
 // list is empty. A node is a top node of its part exactly when MinLevel
 // is -1 or not smaller than its own level (§4.4).
+//
+//pwlint:noalloc
 func (pl *PeerList) MinLevel() int {
 	for l := range pl.levels {
 		if pl.levels[l] > 0 {
@@ -275,6 +284,8 @@ func (pl *PeerList) MinLevel() int {
 
 // Strongest returns the first pointer (in ID order) at the minimum level,
 // if any. The level index answers in O(levels) without scanning entries.
+//
+//pwlint:noalloc
 func (pl *PeerList) Strongest() (wire.Pointer, bool) {
 	min := pl.MinLevel()
 	if min < 0 {
@@ -284,6 +295,8 @@ func (pl *PeerList) Strongest() (wire.Pointer, bool) {
 }
 
 // Touch updates lastSeen for id, reporting whether it was present.
+//
+//pwlint:noalloc
 func (pl *PeerList) Touch(id nodeid.ID, now des.Time) bool {
 	i := pl.search(id)
 	if i < len(pl.entries) && pl.entries[i].ptr.ID == id {

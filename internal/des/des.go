@@ -142,6 +142,8 @@ type Handle struct {
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op. It reports whether the event was
 // still pending.
+//
+//pwlint:noalloc
 func (h Handle) Cancel() bool {
 	if h.e == nil {
 		return false
@@ -233,6 +235,8 @@ func (e *Engine) less(a, b int32) bool {
 }
 
 // siftUp moves heap[i] toward the root until the heap order holds.
+//
+//pwlint:noalloc
 func (e *Engine) siftUp(i int) {
 	h := e.heap
 	s := h[i]
@@ -248,6 +252,8 @@ func (e *Engine) siftUp(i int) {
 }
 
 // siftDown moves heap[i] toward the leaves until the heap order holds.
+//
+//pwlint:noalloc
 func (e *Engine) siftDown(i int) {
 	h := e.heap
 	n := len(h)
@@ -276,7 +282,11 @@ func (e *Engine) siftDown(i int) {
 	h[i] = s
 }
 
-// alloc takes a slot from the free list or grows the slab.
+// alloc takes a slot from the free list or grows the slab. The slab
+// append is the amortized self-append builder; steady state reuses the
+// free list and allocates nothing.
+//
+//pwlint:noalloc
 func (e *Engine) alloc() int32 {
 	if n := len(e.free); n > 0 {
 		s := e.free[n-1]
@@ -288,6 +298,8 @@ func (e *Engine) alloc() int32 {
 }
 
 // release returns a slot to the free list and retires its generation.
+//
+//pwlint:noalloc
 func (e *Engine) release(s int32) {
 	e.slab[s].fn = nil
 	e.slab[s].gen++
@@ -295,6 +307,8 @@ func (e *Engine) release(s int32) {
 }
 
 // popMin removes and returns the heap's minimum slot.
+//
+//pwlint:noalloc
 func (e *Engine) popMin() int32 {
 	h := e.heap
 	s := h[0]
@@ -311,6 +325,8 @@ func (e *Engine) popMin() int32 {
 // outnumber live events (and are numerous enough to matter). The
 // rebuild is one pass over the heap slice plus an O(n) heapify, so the
 // amortized cost per cancellation is O(1).
+//
+//pwlint:noalloc
 func (e *Engine) maybeCompact() {
 	dead := len(e.heap) - e.live
 	if dead <= compactMinDead || dead <= e.live {
@@ -327,8 +343,12 @@ func (e *Engine) maybeCompact() {
 		}
 	}
 	e.heap = h[:w]
-	for i := (w - 2) / 4; i >= 0; i-- {
-		e.siftDown(i)
+	// (w-2)/4 truncates toward zero, so w == 0 would yield i == 0 and
+	// sift an empty heap; heaps of size <= 1 need no heapify at all.
+	if w > 1 {
+		for i := (w - 2) / 4; i >= 0; i-- {
+			e.siftDown(i)
+		}
 	}
 }
 
@@ -353,12 +373,14 @@ func (e *Engine) AtTag(t Time, tag EventTag, fn func()) Handle {
 // entity's identity plus a per-entity counter). Key zero sorts first and
 // is what At/AtTag use, so unkeyed callers keep the classic insertion
 // order.
+//
+//pwlint:noalloc
 func (e *Engine) AtKey(t Time, key uint64, tag EventTag, fn func()) Handle {
 	if fn == nil {
 		panic("des: At with nil callback")
 	}
 	if t < e.now {
-		panic(fmt.Sprintf("des: scheduling into the past (%v < %v)", t, e.now))
+		panic(fmt.Sprintf("des: scheduling into the past (%v < %v)", t, e.now)) //pwlint:allow noalloc panic path, the simulation is already dead
 	}
 	s := e.alloc()
 	ev := &e.slab[s]
@@ -411,6 +433,8 @@ func (e *Engine) Runnable() []Choice {
 // NextAt returns the scheduled time of the earliest live event, skimming
 // cancelled corpses off the heap as a side effect. ok is false when no
 // live events remain.
+//
+//pwlint:noalloc
 func (e *Engine) NextAt() (t Time, ok bool) {
 	for len(e.heap) > 0 {
 		top := &e.slab[e.heap[0]]

@@ -1,0 +1,43 @@
+package query
+
+import "testing"
+
+// The snapshot read path carries //pwlint:noalloc contracts (Get, At,
+// Each, MinLevel, CountAtLevel and the bucket search underneath); these
+// guards pin them at runtime against a populated view.
+
+func TestViewReadPathDoesNotAllocate(t *testing.T) {
+	s, ps := benchStore(4096)
+	v := s.View()
+	i := 0
+	if allocs := testing.AllocsPerRun(1000, func() {
+		p := ps[i%len(ps)]
+		if _, ok := v.Get(p.ID); !ok {
+			t.Fatal("lookup miss")
+		}
+		_ = v.At(i % v.Len())
+		if v.MinLevel() < 0 {
+			t.Fatal("empty view")
+		}
+		_ = v.CountAtLevel(3)
+		i++
+	}); allocs != 0 {
+		t.Fatalf("view read path allocates %v per round", allocs)
+	}
+}
+
+func TestViewEachDoesNotAllocate(t *testing.T) {
+	s, _ := benchStore(1024)
+	v := s.View()
+	count := 0
+	fn := func(Entry) bool { count++; return true }
+	if allocs := testing.AllocsPerRun(100, func() {
+		count = 0
+		v.Each(fn)
+		if count != v.Len() {
+			t.Fatalf("visited %d of %d entries", count, v.Len())
+		}
+	}); allocs != 0 {
+		t.Fatalf("Each allocates %v per full scan", allocs)
+	}
+}

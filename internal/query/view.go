@@ -116,6 +116,8 @@ func (b *bucket) buildFields() {
 }
 
 // find returns the offset of id within the bucket and whether it is present.
+//
+//pwlint:noalloc
 func (b *bucket) find(id nodeid.ID) (int, bool) {
 	i := sort.Search(len(b.ents), func(i int) bool {
 		return !b.ents[i].ID.Less(id)
@@ -151,12 +153,16 @@ func (v *View) Len() int { return v.total }
 
 // At returns the i-th entry in ascending ID order. It panics if i is out of
 // range, mirroring slice indexing.
+//
+//pwlint:noalloc
 func (v *View) At(i int) Entry {
 	bi := sort.Search(len(v.starts), func(b int) bool { return v.starts[b] > i }) - 1
 	return v.buckets[bi].ents[i-v.starts[bi]]
 }
 
 // bucketFor returns the index of the bucket that does or would contain id.
+//
+//pwlint:noalloc
 func (v *View) bucketFor(id nodeid.ID) int {
 	bi := sort.Search(len(v.buckets), func(b int) bool {
 		return id.Less(v.buckets[b].ents[0].ID)
@@ -168,6 +174,8 @@ func (v *View) bucketFor(id nodeid.ID) int {
 }
 
 // Get returns the entry with the given ID, if present. O(log N).
+//
+//pwlint:noalloc
 func (v *View) Get(id nodeid.ID) (Entry, bool) {
 	if v.total == 0 {
 		return Entry{}, false
@@ -181,6 +189,8 @@ func (v *View) Get(id nodeid.ID) (Entry, bool) {
 
 // Each calls fn for every entry in ascending ID order until fn returns
 // false. It performs no allocations.
+//
+//pwlint:noalloc
 func (v *View) Each(fn func(Entry) bool) {
 	for _, b := range v.buckets {
 		for i := range b.ents {
@@ -214,6 +224,8 @@ func (v *View) Pointers() []wire.Pointer {
 
 // MinLevel returns the smallest level present in the snapshot, or -1 if the
 // snapshot is empty. O(1) amortized over the level table.
+//
+//pwlint:noalloc
 func (v *View) MinLevel() int {
 	for l := 0; l < levelSlots; l++ {
 		if v.levels[l] > 0 {
@@ -224,6 +236,8 @@ func (v *View) MinLevel() int {
 }
 
 // CountAtLevel returns the number of entries whose level equals l. O(1).
+//
+//pwlint:noalloc
 func (v *View) CountAtLevel(l int) int {
 	if l < 0 || l >= levelSlots {
 		return 0

@@ -1,0 +1,44 @@
+package telemetry
+
+import (
+	"testing"
+
+	"peerwindow/internal/nodeid"
+	"peerwindow/internal/trace"
+	"peerwindow/internal/wire"
+)
+
+// The frame append helpers carry //pwlint:noalloc contracts: encoding
+// into a caller-threaded buffer of sufficient capacity must not
+// allocate per span or per field.
+
+func TestAppendHelpersDoNotAllocate(t *testing.T) {
+	buf := make([]byte, 0, 256)
+	id := nodeid.ID{Hi: 0xfeed, Lo: 0xbeef}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		b := buf[:0]
+		b = appendUvarint(b, 1<<40)
+		b = appendVarint(b, -12345)
+		b = appendFixed64(b, 0xdeadbeef)
+		b = appendFloat(b, 3.25)
+		b = appendString(b, "core.events_total")
+		b = appendID(b, id)
+		buf = b
+	}); allocs != 0 {
+		t.Fatalf("append helpers allocate %v per round", allocs)
+	}
+}
+
+func TestAppendSpanDoesNotAllocate(t *testing.T) {
+	buf := make([]byte, 0, 256)
+	span := trace.Span{
+		At:    100,
+		Node:  7,
+		Trace: wire.TraceID{Origin: nodeid.ID{Hi: 1, Lo: 2}, Seq: 9},
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		buf = appendSpan(buf[:0], &span)
+	}); allocs != 0 {
+		t.Fatalf("appendSpan allocates %v per span", allocs)
+	}
+}

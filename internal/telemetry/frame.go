@@ -126,21 +126,28 @@ type Frame struct {
 // appendUvarint, appendString etc. build the wire form; all integers are
 // unsigned varints except float64 bits and nodeid halves, which are
 // fixed 8-byte big-endian (identifier bits are uniformly random, so a
-// varint would inflate them).
+// varint would inflate them). All of them are builder-return helpers:
+// amortized zero-alloc when the caller threads one buffer through.
 
+//pwlint:noalloc
 func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
 
+//pwlint:noalloc
 func appendVarint(b []byte, v int64) []byte { return binary.AppendVarint(b, v) }
 
+//pwlint:noalloc
 func appendFixed64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
 
+//pwlint:noalloc
 func appendFloat(b []byte, v float64) []byte { return appendFixed64(b, math.Float64bits(v)) }
 
+//pwlint:noalloc
 func appendString(b []byte, s string) []byte {
 	b = appendUvarint(b, uint64(len(s)))
 	return append(b, s...)
 }
 
+//pwlint:noalloc
 func appendID(b []byte, id nodeid.ID) []byte {
 	b = appendFixed64(b, id.Hi)
 	return appendFixed64(b, id.Lo)
@@ -212,6 +219,10 @@ func (f *Frame) Marshal() []byte {
 	return b
 }
 
+// appendSpan appends one span record; hot on the export path, one call
+// per buffered span per frame.
+//
+//pwlint:noalloc
 func appendSpan(b []byte, s *trace.Span) []byte {
 	b = appendUvarint(b, uint64(s.At))
 	b = appendUvarint(b, s.Node)

@@ -1,0 +1,34 @@
+package wire
+
+import (
+	"testing"
+
+	"peerwindow/internal/nodeid"
+)
+
+// The marshal builders carry //pwlint:noalloc contracts: appending into
+// a caller-threaded buffer of sufficient capacity must not allocate.
+
+func TestMarshalBuildersDoNotAllocate(t *testing.T) {
+	p := Pointer{Addr: 7, ID: nodeid.ID{Hi: 1, Lo: 2}, Level: 3, Info: []byte("os=linux;role=db")}
+	ev := Event{Kind: EventJoin, Subject: p, Seq: 42}
+	buf := make([]byte, 0, 256)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		buf = p.marshal(buf[:0])
+		buf = ev.marshal(buf[:0])
+	}); allocs != 0 {
+		t.Fatalf("marshal into a warm buffer allocates %v per round", allocs)
+	}
+}
+
+func TestPointerEqualDoesNotAllocate(t *testing.T) {
+	p := Pointer{Addr: 7, ID: nodeid.ID{Hi: 1, Lo: 2}, Level: 3, Info: []byte("os=linux")}
+	q := p
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if !p.Equal(q) {
+			t.Fatal("pointers differ")
+		}
+	}); allocs != 0 {
+		t.Fatalf("Equal allocates %v per call", allocs)
+	}
+}

@@ -60,6 +60,8 @@ func (p Pointer) Eigenstring() nodeid.Eigenstring {
 
 // Equal reports whether two pointers are identical, including attached
 // info.
+//
+//pwlint:noalloc
 func (p Pointer) Equal(q Pointer) bool {
 	if p.Addr != q.Addr || p.ID != q.ID || p.Level != q.Level || len(p.Info) != len(q.Info) {
 		return false
@@ -80,9 +82,13 @@ func (p Pointer) encodedSize() int { return 8 + 16 + 1 + 1 + len(p.Info) }
 // bandwidth math uses.
 func (p Pointer) SizeBits() int { return 8 * p.encodedSize() }
 
+// marshal appends the pointer's wire form to b, builder-style: callers
+// thread one buffer through the whole message.
+//
+//pwlint:noalloc
 func (p Pointer) marshal(b []byte) []byte {
 	if len(p.Info) > MaxInfoLen {
-		panic(fmt.Sprintf("wire: pointer info %d bytes exceeds %d", len(p.Info), MaxInfoLen))
+		panic(fmt.Sprintf("wire: pointer info %d bytes exceeds %d", len(p.Info), MaxInfoLen)) //pwlint:allow noalloc panic path, oversized info is a caller bug
 	}
 	b = binary.BigEndian.AppendUint64(b, uint64(p.Addr))
 	idb := p.ID.Bytes()
@@ -171,6 +177,9 @@ type Event struct {
 // SizeBits returns the marshalled event size in bits.
 func (e Event) SizeBits() int { return 8 * (1 + 8 + e.Subject.encodedSize()) }
 
+// marshal appends the event's wire form to b.
+//
+//pwlint:noalloc
 func (e Event) marshal(b []byte) []byte {
 	b = append(b, uint8(e.Kind))
 	b = binary.BigEndian.AppendUint64(b, e.Seq)
